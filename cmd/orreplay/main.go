@@ -1,0 +1,80 @@
+// Command orreplay re-analyzes a persisted R2 capture log offline —
+// the workflow the paper used with its tcpdump/pcap files: capture once,
+// analyze many times.
+//
+// Usage:
+//
+//	orsurvey -mode sim -shift 12 -capture r2.orlog   # produce a capture
+//	orreplay -year 2018 r2.orlog                     # re-run the analysis
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/capture"
+	"openresolver/internal/geo"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/threatintel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "orreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("orreplay", flag.ContinueOnError)
+	year := fs.Int("year", 2018, "campaign year the capture came from (2013 or 2018)")
+	seed := fs.Int64("seed", 1, "seed of the campaign (selects the threat landscape)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: orreplay [-year Y] [-seed N] <capture.orlog>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := capture.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	feed := threatintel.NewFeed(paperdata.Year(*year), *seed)
+	acc := analysis.NewAccumulator(analysis.Config{
+		Year:   paperdata.Year(*year),
+		Threat: feed.DB,
+		Geo:    geo.DefaultRegistry(),
+	})
+	var counts analysis.CampaignCounts
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("read capture: %w", err)
+		}
+		if p.Kind != capture.KindR2 {
+			continue
+		}
+		counts.R2++
+		if p.At > counts.Duration {
+			counts.Duration = p.At
+		}
+		acc.AddR2(p.Src, p.Payload)
+	}
+	report := acc.Report(counts)
+	fmt.Printf("replayed %d R2 packets from %s\n\n", counts.R2, fs.Arg(0))
+	fmt.Print(report.RenderAll())
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command orsurvey runs one open-resolver measurement campaign — either as
+// a full discrete-event simulation (mode=sim) or as a full-scale synthetic
+// stream (mode=synth) — and prints every regenerated table of the paper.
+//
+// Usage:
+//
+//	orsurvey [-year 2018] [-mode synth|sim] [-shift N] [-seed N]
+//	         [-pps N] [-capture file]
+//
+// Examples:
+//
+//	orsurvey -year 2018                    # full-scale synthetic campaign
+//	orsurvey -year 2013 -mode sim -shift 12  # end-to-end simulation, 1/4096 sample
+//	orsurvey -mode sim -shift 12 -capture r2.orlog  # persist the R2 capture
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/capture"
+	"openresolver/internal/core"
+	"openresolver/internal/paperdata"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "orsurvey:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("orsurvey", flag.ContinueOnError)
+	year := fs.Int("year", 2018, "campaign year (2013 or 2018)")
+	mode := fs.String("mode", "synth", "execution mode: synth or sim")
+	shift := fs.Uint("shift", 0, "sample shift: scale to 1/2^shift (sim mode needs ≥6)")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
+	capturePath := fs.String("capture", "", "write the R2 capture log to this file (sim mode)")
+	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
+	csvDir := fs.String("csvdir", "", "write every table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Year:          paperdata.Year(*year),
+		SampleShift:   uint8(*shift),
+		Seed:          *seed,
+		PacketsPerSec: *pps,
+		KeepPackets:   *capturePath != "",
+	}
+
+	var (
+		ds  *core.Dataset
+		err error
+	)
+	switch *mode {
+	case "synth":
+		ds, err = core.RunSynthetic(cfg)
+	case "sim":
+		if cfg.SampleShift < 6 {
+			cfg.SampleShift = 12
+			fmt.Fprintln(os.Stderr, "orsurvey: sim mode defaulted to -shift 12")
+		}
+		ds, err = core.RunSimulation(cfg)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(ds.Report.RenderAll())
+	clusterSize := uint64(paperdata.ClusterSize >> cfg.SampleShift)
+	if clusterSize < 16 {
+		clusterSize = 16
+	}
+	theoretical := (ds.Report.Campaign.Q1 + clusterSize - 1) / clusterSize
+	fmt.Printf("\nSubdomain clusters used: %d (theoretical without reuse: %d; §III-B)\n",
+		ds.ClustersUsed, theoretical)
+	if *mode == "sim" {
+		fmt.Printf("Subdomains reused: %d\n", ds.SubdomainsReused)
+		st := ds.NetStats
+		fmt.Printf("Network: sent %d, delivered %d, lost %d, unrouted %d\n",
+			st.Sent, st.Delivered, st.Lost, st.NoRoute)
+		if ds.Roles != nil {
+			fmt.Println()
+			fmt.Print(ds.Roles.Render())
+		}
+	}
+
+	if *capturePath != "" {
+		if err := writeCapture(*capturePath, ds.R2Packets); err != nil {
+			return err
+		}
+		fmt.Printf("R2 capture (%d packets) written to %s\n", len(ds.R2Packets), *capturePath)
+	}
+	if *jsonPath != "" {
+		data, err := ds.Report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report JSON written to %s\n", *jsonPath)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, table := range analysis.CSVTables {
+			f, err := os.Create(filepath.Join(*csvDir, table+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := ds.Report.WriteCSV(f, table); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("CSV tables written to %s\n", *csvDir)
+	}
+	return nil
+}
+
+func writeCapture(path string, packets []capture.Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := capture.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for _, p := range packets {
+		if err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

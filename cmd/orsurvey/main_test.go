@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSynth(t *testing.T) {
+	if err := run([]string{"-year", "2018", "-shift", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimWithCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	path := filepath.Join(t.TempDir(), "r2.orlog")
+	if err := run([]string{"-mode", "sim", "-shift", "13", "-capture", path}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("capture file empty")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-year", "1999"}); err == nil {
+		t.Error("unknown year accepted")
+	}
+}
+
+func TestRunWithExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	csvDir := filepath.Join(dir, "csv")
+	if err := run([]string{"-year", "2018", "-shift", "12", "-json", jsonPath, "-csvdir", csvDir}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(jsonPath); err != nil || st.Size() == 0 {
+		t.Errorf("json export: %v", err)
+	}
+	for _, table := range []string{"correctness", "top10", "geo"} {
+		if st, err := os.Stat(filepath.Join(csvDir, table+".csv")); err != nil || st.Size() == 0 {
+			t.Errorf("csv %s: %v", table, err)
+		}
+	}
+}

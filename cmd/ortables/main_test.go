@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two scaled campaigns")
+	}
+	if err := run([]string{"-shift", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-shift", "12", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

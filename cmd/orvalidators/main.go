@@ -1,0 +1,52 @@
+// Command orvalidators reproduces the DNSSEC validator-counting studies
+// the paper cites in §VI (Fukuda et al.; Yu et al.'s Check-Repeat): each
+// surveyed open resolver is asked for a validly-signed name and a name
+// with a deliberately corrupted signature; resolvers that reject the bogus
+// data (ServFail) validate.
+//
+// Usage:
+//
+//	orvalidators [-resolvers N] [-fraction F] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"openresolver/internal/dnssec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "orvalidators:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("orvalidators", flag.ContinueOnError)
+	resolvers := fs.Int("resolvers", 500, "resolvers to survey")
+	fraction := fs.Float64("fraction", 0.27, "share of the pool that validates (ground truth)")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := dnssec.RunSurvey(dnssec.SurveyConfig{
+		Resolvers:         *resolvers,
+		ValidatorFraction: *fraction,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DNSSEC validator survey (check-repeat methodology)\n\n")
+	fmt.Printf("resolvers probed:   %d\n", res.Probed)
+	fmt.Printf("validators:         %d (%.1f%%)\n", res.Validators, res.Rate()*100)
+	fmt.Printf("non-validating:     %d\n", res.NonValidating)
+	fmt.Printf("inconclusive:       %d\n", res.Inconclusive)
+	fmt.Println("\nValidation defeats the §IV-C manipulation only for signed zones; the")
+	fmt.Println("paper (§VI) notes DNSSEC 'did not yet completely replace DNS', leaving")
+	fmt.Println("manipulated answers credible to the non-validating majority.")
+	return nil
+}

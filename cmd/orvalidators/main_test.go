@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run([]string{"-resolvers", "40", "-fraction", "0.25"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-resolvers", "0"}); err == nil {
+		t.Error("zero resolvers accepted")
+	}
+}

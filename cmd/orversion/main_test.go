@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run([]string{"-shift", "13", "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-shift", "2"}); err == nil {
+		t.Error("tiny shift accepted")
+	}
+	if err := run([]string{"-year", "1999"}); err == nil {
+		t.Error("unknown year accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command orzone generates and verifies the subdomain-cluster zone files
+// of §III-B ("Five million subdomains ... are generated as one cluster (a
+// zone file)"), in BIND master format.
+//
+// Usage:
+//
+//	orzone -gen -cluster 3 -size 100000 -o cluster3.zone
+//	orzone -check cluster3.zone
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/paperdata"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "orzone:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("orzone", flag.ContinueOnError)
+	gen := fs.Bool("gen", false, "generate a cluster zone file")
+	cluster := fs.Int("cluster", 0, "cluster number (0-799)")
+	size := fs.Int("size", paperdata.ClusterSize, "subdomains in the cluster")
+	out := fs.String("o", "", "output path for -gen (default stdout)")
+	check := fs.String("check", "", "verify a zone file against the ground truth")
+	sld := fs.String("sld", paperdata.SLD, "zone origin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *gen:
+		if *cluster < 0 || *cluster >= paperdata.TheoreticalClusters {
+			return fmt.Errorf("cluster %d out of range [0,%d)", *cluster, paperdata.TheoreticalClusters)
+		}
+		if *size <= 0 {
+			return errors.New("size must be positive")
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := dnssrv.WriteClusterZone(w, *sld, *cluster, *size); err != nil {
+			return err
+		}
+		if *out != "" {
+			fmt.Printf("wrote cluster %d (%d subdomains) to %s\n", *cluster, *size, *out)
+		}
+		return nil
+
+	case *check != "":
+		f, err := os.Open(*check)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		z, err := dnssrv.ParseZoneFile(f)
+		if err != nil {
+			return err
+		}
+		n, err := dnssrv.VerifyClusterZone(z)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: origin %s, serial %d, %d records, all match ground truth\n",
+			*check, z.Origin, z.Serial, n)
+		return nil
+	}
+	return errors.New("usage: orzone -gen [-cluster N] [-size N] [-o file] | orzone -check file")
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenAndCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c3.zone")
+	if err := run([]string{"-gen", "-cluster", "3", "-size", "500", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("empty zone file")
+	}
+	if err := run([]string{"-check", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-gen", "-cluster", "900"}); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+	if err := run([]string{"-gen", "-size", "0"}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if err := run([]string{"-check", "/nonexistent.zone"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,17 @@
+// Package openresolver is a from-scratch Go reproduction of "Where Are You
+// Taking Me? Behavioral Analysis of Open DNS Resolvers" (Park, Khormali,
+// Mohaisen, Mohaisen — DSN 2019): an Internet-wide measurement of open DNS
+// resolvers, their standards conformance (RA/AA flags, rcodes), the
+// correctness of their answers, and the threat-intelligence profile of the
+// manipulated answers, contrasting the 2013 and 2018 campaigns.
+//
+// Because the study probed the live Internet, the reproduction substitutes
+// a deterministic discrete-event network simulation for the IPv4 space and
+// calibrates a synthetic resolver population from the paper's own tables;
+// see DESIGN.md for the full substitution map and internal/core for the
+// public entry points (RunSimulation, RunSynthetic).
+//
+// The benchmarks in bench_test.go regenerate every table (I-X) and figure
+// (1-4) of the paper's evaluation; cmd/ortables prints the full
+// paper-vs-measured comparison recorded in EXPERIMENTS.md.
+package openresolver

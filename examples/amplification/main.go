@@ -1,0 +1,56 @@
+// Amplification: quantify the DNS amplification threat of §II-C by
+// simulating an attacker who abuses open resolvers with spoofed-source
+// queries, and measuring how many bytes land on the victim per byte the
+// attacker spends.
+//
+//	go run ./examples/amplification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openresolver/internal/amplify"
+	"openresolver/internal/dnswire"
+)
+
+func main() {
+	// One spoofed 'ANY' query is ~70 bytes on the wire; the response from a
+	// resolver fronting a record-rich zone is thousands. The resolver
+	// faithfully sends that response to the spoofed source — the victim.
+	fmt.Println("Bandwidth amplification factor by query type and zone size")
+	fmt.Printf("%-7s %-13s %12s\n", "qtype", "zone records", "factor")
+	for _, qt := range []dnswire.Type{dnswire.TypeA, dnswire.TypeANY} {
+		for _, zone := range []int{10, 30, 60} {
+			res, err := amplify.Run(amplify.Config{
+				Resolvers:          200,
+				QueriesPerResolver: 5,
+				QueryType:          qt,
+				ZoneRecords:        zone,
+				Seed:               1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-7s %-13d %11.1fx\n", qt, zone, res.Factor)
+		}
+	}
+
+	// The paper's motivating incident: the 2013 Spamhaus attack reached
+	// 75 Gbps through open resolvers. Show what a (scaled) fleet achieves.
+	res, err := amplify.Run(amplify.Config{
+		Resolvers:          3000, // a tiny slice of the ~3M open resolvers found in 2018
+		QueriesPerResolver: 20,
+		QueryType:          dnswire.TypeANY,
+		ZoneRecords:        40,
+		Seed:               2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFleet attack: %d queries (%d KiB from the attacker) delivered %d KiB\n",
+		res.QueriesSent, res.AttackerBytes/1024, res.VictimBytes/1024)
+	fmt.Printf("to the victim in %v of virtual time — %.0f× amplification.\n", res.Duration, res.Factor)
+	fmt.Println("\nWith ~3 million open resolvers still answering anyone (§IV), the paper")
+	fmt.Println("argues this attack surface persists regardless of resolver honesty.")
+}

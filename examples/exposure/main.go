@@ -1,0 +1,56 @@
+// Exposure: run the follow-up study the paper plans in §V — a malicious
+// open resolver is only an *actual* threat when legitimate clients query
+// it, so simulate a client population with a realistic web workload and
+// measure how much of their traffic lands on manipulating resolvers.
+//
+//	go run ./examples/exposure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openresolver/internal/clientload"
+)
+
+func main() {
+	// The 2018 campaign found 26,926 of 6,506,258 responders (~0.41%)
+	// manipulating answers toward threat-listed addresses. Sweep the
+	// malicious share around that point and measure client exposure.
+	fmt.Println("Client exposure to malicious open resolvers (2,000 clients × 25 queries)")
+	fmt.Printf("%-18s %12s %16s %14s %12s\n",
+		"malicious share", "queries", "malicious answers", "exposure rate", "clients hit")
+	for _, frac := range []float64{0.004, 0.02, 0.05, 0.10} {
+		res, err := clientload.Run(clientload.Config{
+			Clients:            2000,
+			QueriesPerClient:   25,
+			Resolvers:          500,
+			MaliciousFraction:  frac,
+			Domains:            2000,
+			ZipfS:              1.3,
+			ResolversPerClient: 2,
+			Seed:               11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12d %16d %13.2f%% %7d/%d\n",
+			fmt.Sprintf("%.1f%%", frac*100), res.Queries, res.MaliciousAnswers,
+			res.ExposureRate()*100, res.ExposedClients, res.TotalClients)
+	}
+
+	// The §III-B connection: skewed web workloads cache extremely well, so
+	// probing with popular names would mostly measure caches — which is why
+	// the campaign generated a unique subdomain per probe.
+	res, err := clientload.Run(clientload.Config{
+		Clients: 2000, QueriesPerClient: 25, Resolvers: 500,
+		MaliciousFraction: 0.004, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhonest-resolver answer-cache hit ratio under this workload: %.1f%%\n",
+		res.CacheHitRatio*100)
+	fmt.Println("(the measurement campaign avoids caches entirely by querying a unique")
+	fmt.Println(" subdomain per probe — §III-B's 'subdomain' design)")
+}

@@ -1,0 +1,55 @@
+// Quickstart: run a sampled open-resolver measurement campaign end to end
+// on the discrete-event network and print the paper's core tables.
+//
+//	go run ./examples/quickstart
+//
+// The campaign models the paper's 2018 scan at 1/4096 of the IPv4 space:
+// the prober walks the sampled address space in ZMap-style pseudorandom
+// order, every open resolver in the simulated population really performs
+// (or deviantly fakes) recursive resolution through the root → .net →
+// ucfsealresearch.net hierarchy, and the analysis pipeline classifies every
+// captured response.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openresolver/internal/core"
+	"openresolver/internal/paperdata"
+)
+
+func main() {
+	ds, err := core.RunSimulation(core.Config{
+		Year:        paperdata.Y2018,
+		SampleShift: 12, // probe 1/4096 of the IPv4 space
+		Seed:        42,
+		// Scale the probe rate with the universe so the campaign's virtual
+		// duration is directly comparable to the paper's 10h35m.
+		PacketsPerSec: 100000 >> 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := ds.Report
+	fmt.Println(r.RenderTableII())
+	fmt.Println(r.RenderTableIII())
+	fmt.Println(r.RenderTableIV())
+	fmt.Println(r.RenderEstimates())
+
+	fmt.Printf("Probing mechanics (§III-B):\n")
+	fmt.Printf("  subdomain clusters used: %d\n", ds.ClustersUsed)
+	fmt.Printf("  subdomains reused:       %d\n", ds.SubdomainsReused)
+	fmt.Printf("  network packets:         %d sent, %d delivered\n",
+		ds.NetStats.Sent, ds.NetStats.Delivered)
+
+	// Scale the headline numbers back to the full IPv4 space.
+	scale := uint64(1) << ds.Config.SampleShift
+	fmt.Printf("\nExtrapolated to the full IPv4 space (×%d):\n", scale)
+	fmt.Printf("  responding hosts:   ~%d\n", r.Campaign.R2*scale)
+	fmt.Printf("  open resolvers:     ~%d (strict: RA=1 and correct answer)\n",
+		r.Estimates.StrictRA1Correct*scale)
+	fmt.Printf("  incorrect answers:  ~%d\n", r.Correctness.Incorr*scale)
+	fmt.Printf("  paper reported:     3,702,258,432 probed, ~3M open resolvers, 111,093 incorrect\n")
+}

@@ -1,0 +1,56 @@
+// Temporal contrast: reproduce the paper's headline finding by running
+// both measurement campaigns (2013 and 2018) and comparing them — the
+// number of open resolvers collapsed, the number of incorrect answers
+// stayed flat, and malicious answers more than doubled.
+//
+//	go run ./examples/temporal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/core"
+	"openresolver/internal/paperdata"
+)
+
+func main() {
+	reports := map[paperdata.Year]*analysis.Report{}
+	for _, y := range []paperdata.Year{paperdata.Y2013, paperdata.Y2018} {
+		ds, err := core.RunSynthetic(core.Config{
+			Year:        y,
+			SampleShift: 6, // 1/64 sample; use 0 for exact paper numbers
+			Seed:        3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports[y] = ds.Report
+	}
+	r13, r18 := reports[paperdata.Y2013], reports[paperdata.Y2018]
+
+	row := func(metric string, v13, v18 uint64) {
+		change := "—"
+		if v13 > 0 {
+			change = fmt.Sprintf("%+.0f%%", (float64(v18)/float64(v13)-1)*100)
+		}
+		fmt.Printf("%-38s %14d %14d %10s\n", metric, v13, v18, change)
+	}
+	fmt.Printf("%-38s %14s %14s %10s\n", "metric (1/64 sample)", "2013", "2018", "change")
+	row("responses collected (R2)", r13.Correctness.R2, r18.Correctness.R2)
+	row("responses with answers (W)", r13.Correctness.With(), r18.Correctness.With())
+	row("open resolvers (RA=1 & correct)", r13.Estimates.StrictRA1Correct, r18.Estimates.StrictRA1Correct)
+	row("incorrect answers", r13.Correctness.Incorr, r18.Correctness.Incorr)
+	row("malicious answers (threat-reported)", r13.MaliciousTotal.R2, r18.MaliciousTotal.R2)
+	row("unique malicious addresses", r13.MaliciousTotal.IPs, r18.MaliciousTotal.IPs)
+	row("countries with malicious resolvers", uint64(len(r13.MaliciousGeo)), uint64(len(r18.MaliciousGeo)))
+
+	fmt.Printf("\nerror rate:  %.3f%% (2013)  →  %.3f%% (2018)\n",
+		r13.Correctness.ErrPct(), r18.Correctness.ErrPct())
+
+	fmt.Println("\nThe paper's conclusion, §VII: the open-resolver population shrank ~4×")
+	fmt.Println("between 2013 and 2018, but the absolute volume of manipulated answers")
+	fmt.Println("held steady and threat-reported (malicious) answers more than doubled —")
+	fmt.Println("the threat did not decline with the population.")
+}

@@ -1,0 +1,3 @@
+module openresolver
+
+go 1.22

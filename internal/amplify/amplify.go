@@ -1,0 +1,189 @@
+// Package amplify models the DNS amplification attack of §II-C: an
+// attacker sends small queries with the victim's spoofed source address to
+// open resolvers, which return much larger responses to the victim. The
+// package measures the amplification factor — response bytes delivered to
+// the victim per query byte spent by the attacker — for different query
+// types, reproducing the paper's observation that 'ANY' queries against
+// record-rich zones make open resolvers effective attack amplifiers.
+package amplify
+
+import (
+	"fmt"
+	"time"
+
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+)
+
+// Config parameterizes an attack simulation.
+type Config struct {
+	// Resolvers is the number of open resolvers abused.
+	Resolvers int
+	// QueriesPerResolver is how many spoofed queries each resolver gets.
+	QueriesPerResolver int
+	// QueryType is the abused query type; ANY maximizes amplification.
+	QueryType dnswire.Type
+	// ZoneRecords is the number of records the answered zone holds — the
+	// knob the paper describes: "if the authoritative name server manages a
+	// larger number of domains, the larger DNS response will be replied".
+	ZoneRecords int
+	// EDNSSize is the UDP payload size the attacker advertises via EDNS(0)
+	// (the paper's reference [17]); 0 selects the 4096-byte default.
+	EDNSSize uint16
+	// NoEDNS disables EDNS entirely, capping every response at the classic
+	// 512-byte limit — the ablation showing why reference [17] matters for
+	// the attack.
+	NoEDNS bool
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// Result summarizes the attack.
+type Result struct {
+	QueriesSent   uint64
+	AttackerBytes uint64
+	VictimPackets uint64
+	VictimBytes   uint64
+	// Factor is VictimBytes / AttackerBytes, the bandwidth amplification
+	// factor (BAF as defined by Rossow's amplification-attack taxonomy).
+	Factor float64
+	// Duration is the virtual time span of the attack.
+	Duration time.Duration
+}
+
+// Simulation addresses.
+var (
+	attackerAddr = ipv4.MustParseAddr("203.113.0.66")
+	victimAddr   = ipv4.MustParseAddr("64.106.82.10")
+	resolverBase = ipv4.MustParseAddr("24.0.0.0")
+)
+
+// amplifier is an open resolver with a populated cache for the abused
+// zone: it answers ANY queries with the full RRset and A queries with a
+// single record, mirroring a resolver fronting a record-rich domain.
+type amplifier struct {
+	zoneRecords int
+}
+
+func (a *amplifier) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
+	q, err := dnswire.Unpack(dg.Payload)
+	if err != nil || q.Header.QR {
+		return
+	}
+	resp := dnswire.NewResponse(q)
+	resp.Header.RA = true
+	qst, ok := q.Question1()
+	if !ok {
+		resp.Header.Rcode = dnswire.RcodeFormErr
+	} else {
+		switch qst.Type {
+		case dnswire.TypeANY:
+			// The full zone: A + NS + MX + TXT records.
+			resp.AnswerA(uint32(resolverBase)+7, 300)
+			for i := 0; i < a.zoneRecords; i++ {
+				switch i % 3 {
+				case 0:
+					resp.Answers = append(resp.Answers, dnswire.RR{
+						Name: qst.Name, Type: dnswire.TypeNS, Class: dnswire.ClassIN,
+						TTL: 300, Target: fmt.Sprintf("ns%d.hosting-%d.example.net", i, i),
+					})
+				case 1:
+					resp.Answers = append(resp.Answers, dnswire.RR{
+						Name: qst.Name, Type: dnswire.TypeMX, Class: dnswire.ClassIN,
+						TTL: 300, Pref: uint16(i), Target: fmt.Sprintf("mx%d.mail-%d.example.net", i, i),
+					})
+				default:
+					resp.Answers = append(resp.Answers, dnswire.RR{
+						Name: qst.Name, Type: dnswire.TypeTXT, Class: dnswire.ClassIN,
+						TTL: 300, Target: fmt.Sprintf("v=spf1 include:_spf%02d.example.net ip4:192.0.2.%d -all", i, i%250),
+					})
+				}
+			}
+		case dnswire.TypeA:
+			resp.AnswerA(uint32(resolverBase)+7, 300)
+		default:
+			resp.Header.Rcode = dnswire.RcodeNotImp
+		}
+	}
+	// Honor the query's EDNS budget: without EDNS the classic 512-byte
+	// limit truncates the response and defeats the amplification.
+	wire, err := resp.TruncateTo(q.MaxResponseSize())
+	if err != nil {
+		return
+	}
+	n.Send(dg.Src, dg.DstPort, dg.SrcPort, wire)
+}
+
+// Run executes the attack simulation and measures amplification.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Resolvers <= 0 || cfg.QueriesPerResolver <= 0 {
+		return nil, fmt.Errorf("amplify: resolvers and queries must be positive")
+	}
+	if cfg.QueryType == 0 {
+		cfg.QueryType = dnswire.TypeANY
+	}
+	if cfg.ZoneRecords <= 0 {
+		cfg.ZoneRecords = 24
+	}
+	if cfg.EDNSSize == 0 {
+		cfg.EDNSSize = dnswire.DefaultEDNSSize
+	}
+	if cfg.NoEDNS {
+		cfg.EDNSSize = 0
+	}
+	sim := netsim.New(netsim.Config{
+		Seed:    cfg.Seed,
+		Latency: netsim.UniformLatency(5*time.Millisecond, 40*time.Millisecond),
+	})
+
+	res := &Result{}
+	sim.Register(victimAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		res.VictimPackets++
+		res.VictimBytes += uint64(len(dg.Payload)) + udpIPOverhead
+	}))
+
+	resolvers := make([]ipv4.Addr, cfg.Resolvers)
+	for i := range resolvers {
+		resolvers[i] = resolverBase + ipv4.Addr(i+1)
+		sim.Register(resolvers[i], &amplifier{zoneRecords: cfg.ZoneRecords})
+	}
+
+	attacker := sim.Register(attackerAddr, netsim.HostFunc(func(*netsim.Node, netsim.Datagram) {}))
+	var id uint16
+	for q := 0; q < cfg.QueriesPerResolver; q++ {
+		for _, r := range resolvers {
+			id++
+			query := dnswire.NewQuery(id, "victim-zone.example.net", cfg.QueryType)
+			if cfg.EDNSSize > 0 {
+				query.SetEDNS(dnswire.EDNS{UDPSize: cfg.EDNSSize})
+			}
+			wire, err := query.Pack()
+			if err != nil {
+				return nil, err
+			}
+			res.QueriesSent++
+			res.AttackerBytes += uint64(len(wire)) + udpIPOverhead
+			// The spoofed source is the victim: responses concentrate there.
+			attacker.SendSpoofed(victimAddr, r, 53, 53, wire)
+		}
+	}
+	if err := sim.Run(0); err != nil {
+		return nil, err
+	}
+	if res.AttackerBytes > 0 {
+		res.Factor = float64(res.VictimBytes) / float64(res.AttackerBytes)
+	}
+	res.Duration = sim.Now()
+	return res, nil
+}
+
+// udpIPOverhead approximates the IPv4 + UDP header cost per datagram,
+// included so factors are comparable to wire-level measurements.
+const udpIPOverhead = 28
+
+// String renders the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("queries=%d attacker=%dB victim=%d packets %dB factor=%.1fx",
+		r.QueriesSent, r.AttackerBytes, r.VictimPackets, r.VictimBytes, r.Factor)
+}

@@ -1,0 +1,107 @@
+package amplify
+
+import (
+	"testing"
+
+	"openresolver/internal/dnswire"
+)
+
+func TestANYAmplifies(t *testing.T) {
+	res, err := Run(Config{Resolvers: 50, QueriesPerResolver: 4, QueryType: dnswire.TypeANY, ZoneRecords: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesSent != 200 {
+		t.Errorf("queries = %d", res.QueriesSent)
+	}
+	if res.VictimPackets != 200 {
+		t.Errorf("victim packets = %d, want one response per query", res.VictimPackets)
+	}
+	// §II-C: ANY responses against record-rich zones amplify heavily.
+	if res.Factor < 10 {
+		t.Errorf("ANY amplification factor = %.1f, want ≥ 10", res.Factor)
+	}
+	if res.VictimBytes <= res.AttackerBytes {
+		t.Error("no amplification at all")
+	}
+}
+
+func TestAVsANYFactor(t *testing.T) {
+	anyRes, err := Run(Config{Resolvers: 20, QueriesPerResolver: 2, QueryType: dnswire.TypeANY, ZoneRecords: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRes, err := Run(Config{Resolvers: 20, QueriesPerResolver: 2, QueryType: dnswire.TypeA, ZoneRecords: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anyRes.Factor < 5*aRes.Factor {
+		t.Errorf("ANY factor %.1f not ≫ A factor %.1f", anyRes.Factor, aRes.Factor)
+	}
+	// A single A answer is still slightly larger than the query.
+	if aRes.Factor <= 1 {
+		t.Errorf("A factor = %.2f, want > 1", aRes.Factor)
+	}
+}
+
+func TestZoneSizeScalesFactor(t *testing.T) {
+	small, err := Run(Config{Resolvers: 10, QueriesPerResolver: 1, ZoneRecords: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(Config{Resolvers: 10, QueriesPerResolver: 1, ZoneRecords: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Factor <= small.Factor {
+		t.Errorf("factor did not grow with zone size: %.1f vs %.1f", small.Factor, large.Factor)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Resolvers: 0, QueriesPerResolver: 1}); err == nil {
+		t.Error("zero resolvers accepted")
+	}
+	if _, err := Run(Config{Resolvers: 1, QueriesPerResolver: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	res, err := Run(Config{Resolvers: 1, QueriesPerResolver: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); len(s) == 0 {
+		t.Error("empty string form")
+	}
+}
+
+func BenchmarkAmplificationANY(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Resolvers: 100, QueriesPerResolver: 5, QueryType: dnswire.TypeANY, ZoneRecords: 24, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEDNSAblation(t *testing.T) {
+	// Without EDNS the classic 512-byte limit truncates ANY responses and
+	// caps the amplification — the reason the paper cites RFC 6891 [17].
+	with, err := Run(Config{Resolvers: 20, QueriesPerResolver: 2, QueryType: dnswire.TypeANY, ZoneRecords: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(Config{Resolvers: 20, QueriesPerResolver: 2, QueryType: dnswire.TypeANY, ZoneRecords: 40, Seed: 5, NoEDNS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Factor < 3*without.Factor {
+		t.Errorf("EDNS factor %.1f not ≫ classic factor %.1f", with.Factor, without.Factor)
+	}
+	// Classic responses never exceed 512 bytes + overhead per packet.
+	maxPerPacket := without.VictimBytes / without.VictimPackets
+	if maxPerPacket > 512+28 {
+		t.Errorf("classic response averaged %d bytes", maxPerPacket)
+	}
+}

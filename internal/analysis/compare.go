@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+
+	"openresolver/internal/paperdata"
+)
+
+// Delta is one row of the paper-vs-measured comparison.
+type Delta struct {
+	Table  string
+	Metric string
+	// Paper is the value as printed in the paper.
+	Paper string
+	// Measured is this run's regenerated value.
+	Measured string
+	// Match reports exact agreement with the *reconciled* paper value
+	// (paperdata's documented discrepancies are the only divergences the
+	// reproduction accepts).
+	Match bool
+	// Note explains reconciliations or scale effects.
+	Note string
+}
+
+func d(table, metric string, paper, measured uint64, note string) Delta {
+	return Delta{
+		Table: table, Metric: metric,
+		Paper:    commas(paper),
+		Measured: commas(measured),
+		Match:    paper == measured,
+		Note:     note,
+	}
+}
+
+func df(table, metric string, paper, measured float64, tol float64, note string) Delta {
+	return Delta{
+		Table: table, Metric: metric,
+		Paper:    fmt.Sprintf("%.3f", paper),
+		Measured: fmt.Sprintf("%.3f", measured),
+		Match:    measured-paper <= tol && paper-measured <= tol,
+		Note:     note,
+	}
+}
+
+// CompareToPaper produces the full paper-vs-measured delta list for a
+// report. It is meaningful for full-scale runs (SampleShift 0); scaled
+// runs will show proportional values.
+func (r *Report) CompareToPaper() []Delta {
+	y := r.Year
+	var out []Delta
+
+	// Table II.
+	camp := paperdata.Campaigns[y]
+	out = append(out,
+		d("Table II", "Q1 probes", camp.Q1, r.Campaign.Q1, ""),
+		d("Table II", "Q2 (=R1) at auth NS", camp.Q2R1, r.Campaign.Q2, "Q2 plan calibrated to the paper's total"),
+		d("Table II", "R2 at prober", camp.R2, r.Campaign.R2, ""),
+		Delta{
+			Table: "Table II", Metric: "duration",
+			Paper:    camp.DurationLabel + " (" + camp.ProbeDuration.String() + " in text)",
+			Measured: r.Campaign.Duration.String(),
+			Match:    ratioClose(float64(r.Campaign.Duration), float64(camp.ProbeDuration), 0.15),
+			Note:     "duration emerges from probe rate + cluster reloads",
+		},
+	)
+
+	// Table III.
+	c := paperdata.CorrectnessByYear[y]
+	out = append(out,
+		d("Table III", "R2 analyzed", c.R2, r.Correctness.R2, ""),
+		d("Table III", "W/O (no answer)", c.Without, r.Correctness.Without, ""),
+		d("Table III", "W_corr", c.Correct, r.Correctness.Correct, ""),
+		d("Table III", "W_incorr", c.Incorr, r.Correctness.Incorr, ""),
+		df("Table III", "Err %", c.ErrPct(), r.Correctness.ErrPct(), 0.001, ""),
+	)
+
+	// Table IV.
+	ra := paperdata.RATable[y]
+	for i, rows := range []struct {
+		name          string
+		paper, gotRow paperdata.FlagRow
+	}{
+		{"RA0", ra.Flag0, r.RA.Flag0},
+		{"RA1", ra.Flag1, r.RA.Flag1},
+	} {
+		_ = i
+		out = append(out,
+			d("Table IV", rows.name+" W/O", rows.paper.Without, rows.gotRow.Without, ""),
+			d("Table IV", rows.name+" W_corr", rows.paper.Correct, rows.gotRow.Correct, ""),
+			d("Table IV", rows.name+" W_incorr", rows.paper.Incorr, rows.gotRow.Incorr, ""),
+		)
+	}
+
+	// Table V (against printed values; note marks the D3 reconciliation).
+	aaPrinted := paperdata.AATable[y]
+	aaRecon := paperdata.ReconciledAA(y)
+	note5 := ""
+	if aaPrinted != aaRecon {
+		note5 = "paper's printed AA0 row is internally inconsistent by ±10 (D3)"
+	}
+	for _, rows := range []struct {
+		name            string
+		printed, gotRow paperdata.FlagRow
+		recon           paperdata.FlagRow
+	}{
+		{"AA0", aaPrinted.Flag0, r.AA.Flag0, aaRecon.Flag0},
+		{"AA1", aaPrinted.Flag1, r.AA.Flag1, aaRecon.Flag1},
+	} {
+		out = append(out,
+			Delta{Table: "Table V", Metric: rows.name + " W/O",
+				Paper: commas(rows.printed.Without), Measured: commas(rows.gotRow.Without),
+				Match: rows.gotRow.Without == rows.recon.Without, Note: note5},
+			Delta{Table: "Table V", Metric: rows.name + " W_corr",
+				Paper: commas(rows.printed.Correct), Measured: commas(rows.gotRow.Correct),
+				Match: rows.gotRow.Correct == rows.recon.Correct, Note: note5},
+			Delta{Table: "Table V", Metric: rows.name + " W_incorr",
+				Paper: commas(rows.printed.Incorr), Measured: commas(rows.gotRow.Incorr),
+				Match: rows.gotRow.Incorr == rows.recon.Incorr, Note: note5},
+		)
+	}
+
+	// Table VI (against printed; reconciliations D4/D5 noted).
+	printed := paperdata.RcodeTable[y]
+	recon := paperdata.ReconciledRcode(y)
+	for code := 0; code < 10; code++ {
+		if printed.With[code] == 0 && r.Rcode.With[code] == 0 &&
+			printed.Without[code] == 0 && r.Rcode.Without[code] == 0 {
+			continue
+		}
+		noteW, noteWO := "", ""
+		if printed.With[code] != recon.With[code] {
+			noteW = "reconciled (D4)"
+		}
+		if printed.Without[code] != recon.Without[code] {
+			noteWO = "reconciled (D5)"
+		}
+		out = append(out,
+			Delta{Table: "Table VI", Metric: "W " + paperdata.RcodeNames[code],
+				Paper: commas(printed.With[code]), Measured: commas(r.Rcode.With[code]),
+				Match: r.Rcode.With[code] == recon.With[code], Note: noteW},
+			Delta{Table: "Table VI", Metric: "W/O " + paperdata.RcodeNames[code],
+				Paper: commas(printed.Without[code]), Measured: commas(r.Rcode.Without[code]),
+				Match: r.Rcode.Without[code] == recon.Without[code], Note: noteWO},
+		)
+	}
+
+	// Table VII.
+	f := paperdata.IncorrectFormsByYear[y]
+	out = append(out,
+		d("Table VII", "IP packets", f.IP.Packets, r.Forms.IP.Packets, ""),
+		d("Table VII", "IP unique", f.IP.Unique, r.Forms.IP.Unique, ""),
+		d("Table VII", "URL packets", f.URL.Packets, r.Forms.URL.Packets, ""),
+		d("Table VII", "URL unique", f.URL.Unique, r.Forms.URL.Unique, ""),
+		d("Table VII", "string packets", f.Str.Packets, r.Forms.Str.Packets, ""),
+		Delta{Table: "Table VII", Metric: "string unique",
+			Paper: commas(f.Str.Unique), Measured: commas(r.Forms.Str.Unique),
+			Match: r.Forms.Str.Unique == paperdata.ReconciledStrUnique(y),
+			Note:  noteIf(f.Str.Unique != paperdata.ReconciledStrUnique(y), "57 uniques over 10 packets is impossible; capped (D6)")},
+	)
+	if f.NA.Packets > 0 {
+		out = append(out, d("Table VII", "N/A packets", f.NA.Packets, r.Forms.NA.Packets, "2013 undecodable RDATA"))
+	}
+
+	// Table VIII / 2013 top-10.
+	label := "Table VIII"
+	if y == paperdata.Y2013 {
+		label = "§IV-C1 top-10"
+	}
+	for i, want := range paperdata.Top10[y] {
+		var got paperdata.TopAnswer
+		if i < len(r.Top10) {
+			got = r.Top10[i]
+		}
+		note := ""
+		if want.Synthetic {
+			note = "count not stated in the paper; reconstructed (D7)"
+		}
+		out = append(out, Delta{
+			Table: label, Metric: fmt.Sprintf("rank %d", i+1),
+			Paper:    fmt.Sprintf("%s ×%s", want.Addr, commas(want.Count)),
+			Measured: fmt.Sprintf("%s ×%s", got.Addr, commas(got.Count)),
+			Match:    got.Addr == want.Addr && got.Count == want.Count,
+			Note:     note,
+		})
+	}
+
+	// Table IX.
+	for _, cat := range paperdata.MalCategories {
+		want := paperdata.MaliciousTable[y][cat]
+		got := r.Malicious[cat]
+		out = append(out,
+			d("Table IX", string(cat)+" unique IPs", want.IPs, got.IPs, ""),
+			d("Table IX", string(cat)+" R2", want.R2, got.R2, ""),
+		)
+	}
+	out = append(out,
+		d("Table IX", "total unique IPs", paperdata.MaliciousTotals[y].IPs, r.MaliciousTotal.IPs, ""),
+		d("Table IX", "total R2", paperdata.MaliciousTotals[y].R2, r.MaliciousTotal.R2, ""),
+	)
+
+	// Table X (2018 only in the paper).
+	if y == paperdata.Y2018 {
+		m := paperdata.MaliciousFlags2018
+		out = append(out,
+			d("Table X", "RA0", m.RA0, r.MalFlags.RA0, ""),
+			d("Table X", "RA1", m.RA1, r.MalFlags.RA1, ""),
+			d("Table X", "AA0", m.AA0, r.MalFlags.AA0, ""),
+			d("Table X", "AA1", m.AA1, r.MalFlags.AA1, ""),
+			d("Table X", "nonzero-rcode malicious", 0, r.MalNonZeroRcode, "§IV-C3: all malicious rcodes are NoError"),
+		)
+	}
+
+	// Geolocation.
+	gotGeo := map[string]uint64{}
+	for _, g := range r.MaliciousGeo {
+		gotGeo[g.Country] = g.R2
+	}
+	out = append(out, d("Geo", "countries", uint64(len(paperdata.MaliciousGeo[y])), uint64(len(r.MaliciousGeo)), ""))
+	for _, g := range paperdata.MaliciousGeo[y] {
+		out = append(out, d("Geo", g.Country, g.R2, gotGeo[g.Country], ""))
+	}
+
+	// §IV-B4 empty-question (2018 only).
+	if y == paperdata.Y2018 {
+		e := paperdata.EmptyQuestion2018
+		er := paperdata.ReconciledEmptyQuestion()
+		out = append(out,
+			d("§IV-B4", "total", e.Total, r.EmptyQ.Total, ""),
+			d("§IV-B4", "with answer", e.WithAnswer, r.EmptyQ.WithAnswer, ""),
+			d("§IV-B4", "RA1", e.RA1, r.EmptyQ.RA1, ""),
+			Delta{Table: "§IV-B4", Metric: "RA0",
+				Paper: commas(e.RA0), Measured: commas(r.EmptyQ.RA0),
+				Match: r.EmptyQ.RA0 == er.RA0,
+				Note:  "paper's RA counts sum to 487 of 494 (D8)"},
+			d("§IV-B4", "AA1", e.AA1, r.EmptyQ.AA1, ""),
+		)
+	}
+
+	// §IV-B1 estimates.
+	est := paperdata.Estimates[y]
+	out = append(out,
+		d("§IV-B1", "strict estimate (RA=1 & correct)", est.StrictRA1Correct, r.Estimates.StrictRA1Correct, ""),
+		d("§IV-B1", "RA=1 estimate", est.RAOnly, r.Estimates.RAOnly, ""),
+		d("§IV-B1", "correct-answer estimate", est.CorrectOnly, r.Estimates.CorrectOnly, ""),
+	)
+	return out
+}
+
+func ratioClose(a, b, tol float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	ratio := a / b
+	return ratio >= 1-tol && ratio <= 1+tol
+}
+
+func noteIf(cond bool, note string) string {
+	if cond {
+		return note
+	}
+	return ""
+}
+
+// Matches summarizes a delta list.
+func Matches(deltas []Delta) (matched, total int) {
+	for _, dd := range deltas {
+		if dd.Match {
+			matched++
+		}
+	}
+	return matched, len(deltas)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"openresolver/internal/paperdata"
+)
+
+// paperPerfectReport builds a report whose values equal the reconciled
+// paper numbers for a year, as CompareToPaper's reference input.
+func paperPerfectReport(y paperdata.Year) *Report {
+	camp := paperdata.Campaigns[y]
+	r := &Report{
+		Year: y,
+		Campaign: CampaignCounts{
+			Q1: camp.Q1, Q2: camp.Q2R1, R1: camp.Q2R1, R2: camp.R2,
+			Duration: camp.ProbeDuration, PacketsPerSec: camp.PacketsPerSec,
+		},
+		Correctness: paperdata.CorrectnessByYear[y],
+		RA:          paperdata.RATable[y],
+		AA:          paperdata.ReconciledAA(y),
+		Rcode:       paperdata.ReconciledRcode(y),
+		Forms:       paperdata.IncorrectFormsByYear[y],
+		Malicious:   map[paperdata.MalCategory]paperdata.MalCount{},
+		Estimates:   paperdata.Estimates[y],
+	}
+	r.Forms.Str.Unique = paperdata.ReconciledStrUnique(y)
+	r.Top10 = append(r.Top10, paperdata.Top10[y]...)
+	for cat, mc := range paperdata.MaliciousTable[y] {
+		r.Malicious[cat] = mc
+	}
+	r.MaliciousTotal = paperdata.MaliciousTotals[y]
+	if y == paperdata.Y2018 {
+		r.MalFlags = paperdata.MaliciousFlags2018
+		r.EmptyQ = paperdata.ReconciledEmptyQuestion()
+	}
+	r.MaliciousGeo = append(r.MaliciousGeo, paperdata.MaliciousGeo[y]...)
+	return r
+}
+
+func TestCompareAllMatchOnPerfectReport(t *testing.T) {
+	for _, y := range []paperdata.Year{paperdata.Y2013, paperdata.Y2018} {
+		r := paperPerfectReport(y)
+		deltas := r.CompareToPaper()
+		matched, total := Matches(deltas)
+		if matched != total {
+			for _, dd := range deltas {
+				if !dd.Match {
+					t.Errorf("%d %s %s: paper=%s measured=%s", y, dd.Table, dd.Metric, dd.Paper, dd.Measured)
+				}
+			}
+		}
+		if total < 100 {
+			t.Errorf("%d: only %d comparison rows", y, total)
+		}
+	}
+}
+
+func TestCompareFlagsDivergence(t *testing.T) {
+	r := paperPerfectReport(paperdata.Y2018)
+	r.Correctness.Correct += 5
+	r.MalFlags.RA0 -= 3
+	deltas := r.CompareToPaper()
+	var sawCorr, sawRA0 bool
+	for _, dd := range deltas {
+		if dd.Table == "Table III" && dd.Metric == "W_corr" && !dd.Match {
+			sawCorr = true
+		}
+		if dd.Table == "Table X" && dd.Metric == "RA0" && !dd.Match {
+			sawRA0 = true
+		}
+	}
+	if !sawCorr || !sawRA0 {
+		t.Errorf("divergences not flagged: corr=%v ra0=%v", sawCorr, sawRA0)
+	}
+}
+
+func TestCompareNotesReconciliations(t *testing.T) {
+	r := paperPerfectReport(paperdata.Y2018)
+	deltas := r.CompareToPaper()
+	var notes int
+	for _, dd := range deltas {
+		if dd.Note != "" {
+			notes++
+		}
+		// Reconciled cells must still print the PAPER value, not the
+		// reconciled one, in the Paper column.
+		if dd.Table == "Table V" && dd.Metric == "AA0 W_corr" {
+			if dd.Paper != "2,727,477" {
+				t.Errorf("paper column rewrote the printed value: %s", dd.Paper)
+			}
+			if dd.Measured != "2,727,467" || !dd.Match {
+				t.Errorf("reconciled measurement mishandled: %s match=%v", dd.Measured, dd.Match)
+			}
+		}
+	}
+	if notes == 0 {
+		t.Error("no notes emitted for documented reconciliations")
+	}
+}
+
+func TestCompare2013SyntheticTopNotes(t *testing.T) {
+	r := paperPerfectReport(paperdata.Y2013)
+	var sawSynthetic bool
+	for _, dd := range r.CompareToPaper() {
+		if strings.Contains(dd.Note, "reconstructed (D7)") {
+			sawSynthetic = true
+		}
+	}
+	if !sawSynthetic {
+		t.Error("2013 synthetic top-10 counts not annotated")
+	}
+}
+
+func TestRatioClose(t *testing.T) {
+	if !ratioClose(100, 100, 0.01) || !ratioClose(109, 100, 0.1) {
+		t.Error("close ratios rejected")
+	}
+	if ratioClose(120, 100, 0.1) || ratioClose(80, 100, 0.1) {
+		t.Error("far ratios accepted")
+	}
+	if !ratioClose(0, 0, 0.1) || ratioClose(1, 0, 0.1) {
+		t.Error("zero handling wrong")
+	}
+}

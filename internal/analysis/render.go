@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"openresolver/internal/ipv4"
+	"openresolver/internal/paperdata"
+)
+
+// This file renders reports as text tables shaped like the paper's.
+
+func commas(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// RenderTableI renders the exclusion list (identical for every campaign).
+func RenderTableI() string {
+	var b strings.Builder
+	b.WriteString("Table I — excluded address blocks\n")
+	fmt.Fprintf(&b, "%-22s %-8s %15s\n", "Address Block", "RFC", "#")
+	var rowSum uint64
+	for _, r := range ipv4.ReservedBlocks {
+		fmt.Fprintf(&b, "%-22s %-8s %15s\n", r.Block, r.RFC, commas(r.Block.Size()))
+		rowSum += r.Block.Size()
+	}
+	union := ipv4.NewReservedBlocklist().Size()
+	fmt.Fprintf(&b, "%-22s %-8s %15s (row sum; union %s)\n", "Total", "—", commas(rowSum), commas(union))
+	return b.String()
+}
+
+// RenderTableII renders the campaign summary row.
+func (r *Report) RenderTableII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — probing summary (%d", r.Year)
+	if r.Campaign.SampleShift > 0 {
+		fmt.Fprintf(&b, ", sampled 1/%d", uint64(1)<<r.Campaign.SampleShift)
+	}
+	b.WriteString(")\n")
+	c := r.Campaign
+	q2pct, r2pct := 0.0, 0.0
+	if c.Q1 > 0 {
+		q2pct = float64(c.Q2) / float64(c.Q1) * 100
+		r2pct = float64(c.R2) / float64(c.Q1) * 100
+	}
+	fmt.Fprintf(&b, "Duration %v | Q1 %s | Q2,R1 %s (%.4f%%) | R2 %s (%.4f%%)\n",
+		c.Duration.Round(1e9), commas(c.Q1), commas(c.Q2), q2pct, commas(c.R2), r2pct)
+	return b.String()
+}
+
+// RenderTableIII renders answer presence and correctness.
+func (r *Report) RenderTableIII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — dns_answer presence and correctness (%d)\n", r.Year)
+	c := r.Correctness
+	fmt.Fprintf(&b, "R2 %s | W/O %s | W_corr %s | W_incorr %s | Err %.3f%%\n",
+		commas(c.R2), commas(c.Without), commas(c.Correct), commas(c.Incorr), c.ErrPct())
+	return b.String()
+}
+
+func renderFlagTable(b *strings.Builder, name string, t paperdata.FlagTable) {
+	fmt.Fprintf(b, "%-4s %12s %12s %12s %12s %8s\n", "", "W/O", "W_corr", "W_incorr", "Total", "Err(%)")
+	for i, row := range []paperdata.FlagRow{t.Flag0, t.Flag1} {
+		errPct := 0.0
+		if row.With() > 0 {
+			errPct = row.ErrPct()
+		}
+		fmt.Fprintf(b, "%s%d   %12s %12s %12s %12s %8.3f\n",
+			name, i, commas(row.Without), commas(row.Correct), commas(row.Incorr),
+			commas(row.Total()), errPct)
+	}
+}
+
+// RenderTableIV renders the RA-bit statistics.
+func (r *Report) RenderTableIV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV — dns_answer vs RA bit (%d)\n", r.Year)
+	renderFlagTable(&b, "RA", r.RA)
+	return b.String()
+}
+
+// RenderTableV renders the AA-bit statistics.
+func (r *Report) RenderTableV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table V — dns_answer vs AA bit (%d)\n", r.Year)
+	renderFlagTable(&b, "AA", r.AA)
+	return b.String()
+}
+
+// RenderTableVI renders the rcode distribution.
+func (r *Report) RenderTableVI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI — rcode distribution (%d)\n", r.Year)
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, n := range paperdata.RcodeNames {
+		fmt.Fprintf(&b, "%11s", n)
+	}
+	b.WriteByte('\n')
+	for _, row := range []struct {
+		label string
+		v     [10]uint64
+	}{{"W", r.Rcode.With}, {"W/O", r.Rcode.Without}} {
+		fmt.Fprintf(&b, "%-8s", row.label)
+		for _, n := range row.v {
+			fmt.Fprintf(&b, "%11s", commas(n))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTableVII renders the incorrect-answer forms.
+func (r *Report) RenderTableVII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VII — incorrect answers by form (%d)\n", r.Year)
+	fmt.Fprintf(&b, "%-8s %12s %10s\n", "Form", "#R2", "#unique")
+	f := r.Forms
+	fmt.Fprintf(&b, "%-8s %12s %10s\n", "IP", commas(f.IP.Packets), commas(f.IP.Unique))
+	fmt.Fprintf(&b, "%-8s %12s %10s\n", "URL", commas(f.URL.Packets), commas(f.URL.Unique))
+	fmt.Fprintf(&b, "%-8s %12s %10s\n", "string", commas(f.Str.Packets), commas(f.Str.Unique))
+	if f.NA.Packets > 0 {
+		fmt.Fprintf(&b, "%-8s %12s %10s\n", "N/A", commas(f.NA.Packets), "-")
+	}
+	fmt.Fprintf(&b, "%-8s %12s\n", "Total", commas(f.Total()))
+	return b.String()
+}
+
+// RenderTableVIII renders the top-10 incorrect addresses.
+func (r *Report) RenderTableVIII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VIII — top 10 incorrect answer addresses (%d)\n", r.Year)
+	fmt.Fprintf(&b, "%-17s %10s  %-24s %s\n", "IP address", "#", "Org Name", "Reports")
+	var total uint64
+	for _, t := range r.Top10 {
+		rep := "N"
+		if t.Reported {
+			rep = "Y"
+		}
+		if t.Private {
+			rep = "N/A"
+		}
+		fmt.Fprintf(&b, "%-17s %10s  %-24s %s\n", t.Addr, commas(t.Count), t.Org, rep)
+		total += t.Count
+	}
+	fmt.Fprintf(&b, "%-17s %10s\n", "Total", commas(total))
+	return b.String()
+}
+
+// RenderTableIX renders the malicious-category breakdown.
+func (r *Report) RenderTableIX() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IX — malicious addresses in R2 (%d)\n", r.Year)
+	fmt.Fprintf(&b, "%-18s %8s %8s %10s %8s\n", "Category", "#IP", "%IP", "#R2", "%R2")
+	tot := r.MaliciousTotal
+	for _, cat := range paperdata.MalCategories {
+		mc := r.Malicious[cat]
+		ipPct, r2Pct := 0.0, 0.0
+		if tot.IPs > 0 {
+			ipPct = float64(mc.IPs) / float64(tot.IPs) * 100
+		}
+		if tot.R2 > 0 {
+			r2Pct = float64(mc.R2) / float64(tot.R2) * 100
+		}
+		fmt.Fprintf(&b, "%-18s %8s %7.1f%% %10s %7.1f%%\n",
+			cat, commas(mc.IPs), ipPct, commas(mc.R2), r2Pct)
+	}
+	fmt.Fprintf(&b, "%-18s %8s %8s %10s\n", "Total", commas(tot.IPs), "", commas(tot.R2))
+	return b.String()
+}
+
+// RenderTableX renders the RA/AA flags on malicious responses.
+func (r *Report) RenderTableX() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table X — RA/AA on malicious R2 (%d)\n", r.Year)
+	m := r.MalFlags
+	tot := r.MaliciousTotal.R2
+	pct := func(n uint64) float64 {
+		if tot == 0 {
+			return 0
+		}
+		return float64(n) / float64(tot) * 100
+	}
+	fmt.Fprintf(&b, "RA0 %s (%.1f%%) | RA1 %s (%.1f%%) | AA0 %s (%.1f%%) | AA1 %s (%.1f%%)\n",
+		commas(m.RA0), pct(m.RA0), commas(m.RA1), pct(m.RA1),
+		commas(m.AA0), pct(m.AA0), commas(m.AA1), pct(m.AA1))
+	fmt.Fprintf(&b, "malicious responses with nonzero rcode: %s\n", commas(r.MalNonZeroRcode))
+	return b.String()
+}
+
+// RenderGeo renders the malicious-resolver country distribution.
+func (r *Report) RenderGeo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Malicious resolvers by country (%d): %d countries\n", r.Year, len(r.MaliciousGeo))
+	for i, g := range r.MaliciousGeo {
+		fmt.Fprintf(&b, "%s(%s)", g.Country, commas(g.R2))
+		if i != len(r.MaliciousGeo)-1 {
+			b.WriteString(", ")
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderEmptyQuestion renders the §IV-B4 breakdown.
+func (r *Report) RenderEmptyQuestion() string {
+	e := r.EmptyQ
+	var b strings.Builder
+	fmt.Fprintf(&b, "Empty-question responses (%d): total %d\n", r.Year, e.Total)
+	fmt.Fprintf(&b, "  with answer %d (private %d: %d in 192.168/16, %d in 10/8; bad format %d; unroutable %d)\n",
+		e.WithAnswer, e.PrivateNets, e.Private192, e.Private10, e.BadFormat, e.Unroutable)
+	fmt.Fprintf(&b, "  RA1 %d RA0 %d AA1 %d\n", e.RA1, e.RA0, e.AA1)
+	fmt.Fprintf(&b, "  rcodes:")
+	for i, n := range e.Rcodes {
+		if n > 0 {
+			fmt.Fprintf(&b, " %s=%d", paperdata.RcodeNames[i], n)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderEstimates renders the §IV-B1 open-resolver estimates.
+func (r *Report) RenderEstimates() string {
+	e := r.Estimates
+	return fmt.Sprintf(
+		"Open-resolver estimates (%d): strict(RA=1 & correct) %s | RA=1 only %s | correct only %s\n",
+		r.Year, commas(e.StrictRA1Correct), commas(e.RAOnly), commas(e.CorrectOnly))
+}
+
+// RenderAll renders every table in paper order.
+func (r *Report) RenderAll() string {
+	parts := []string{
+		RenderTableI(),
+		r.RenderTableII(),
+		r.RenderTableIII(),
+		r.RenderTableIV(),
+		r.RenderTableV(),
+		r.RenderTableVI(),
+		r.RenderTableVII(),
+		r.RenderTableVIII(),
+		r.RenderTableIX(),
+		r.RenderTableX(),
+		r.RenderGeo(),
+		r.RenderEmptyQuestion(),
+		r.RenderEstimates(),
+	}
+	return strings.Join(parts, "\n")
+}

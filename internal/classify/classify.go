@@ -1,0 +1,182 @@
+// Package classify infers each responder's role from the correlation of
+// the two capture points of Fig. 2: the prober's R2 log and the
+// authoritative server's Q2 log, joined by qname (§III-B's flow grouping).
+//
+// It formalizes two of the paper's methodological arguments as a
+// measurement:
+//
+//   - §IV-C ("DNS Manipulation"): every probe qname is freshly created, so
+//     a responder that returns an answer *without its flow ever reaching
+//     the authoritative server* cannot be serving a cache — it fabricates
+//     answers. "It is more plausible to say that the open resolver itself
+//     is under the adversary's control."
+//
+//   - §VI (Schomp et al.): responders split into true recursives (the Q2
+//     source is the responder itself) and forwarders/proxies (the Q2 for
+//     their flow arrives from a different address — the hidden egress
+//     resolver).
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"openresolver/internal/capture"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+)
+
+// Role is a responder's inferred role.
+type Role uint8
+
+// Responder roles.
+const (
+	// RoleRecursive resolved the probe itself: the auth server saw the
+	// flow's Q2 from the responder's own address.
+	RoleRecursive Role = iota + 1
+	// RoleForwarder relayed the probe: the flow's Q2 arrived from a
+	// different address (the egress resolver behind the proxy).
+	RoleForwarder
+	// RoleFabricator answered with records although its flow never reached
+	// the authoritative server — the §IV-C manipulation signature.
+	RoleFabricator
+	// RoleNonResolving responded without an answer and without resolving
+	// (refusers, ServFail-ers, and the §IV-B deviants without answers).
+	RoleNonResolving
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleRecursive:
+		return "recursive"
+	case RoleForwarder:
+		return "forwarder"
+	case RoleFabricator:
+		return "fabricator"
+	case RoleNonResolving:
+		return "non-resolving"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Verdict is one responder's classification.
+type Verdict struct {
+	Responder ipv4.Addr
+	Role      Role
+	// Egress lists the distinct upstream sources observed at the
+	// authoritative server for this responder's flows (for forwarders,
+	// the hidden resolvers).
+	Egress []ipv4.Addr
+	// HadAnswer reports whether the R2 carried answer records.
+	HadAnswer bool
+}
+
+// Summary aggregates verdicts by role.
+type Summary struct {
+	Verdicts []Verdict
+	ByRole   map[Role]int
+}
+
+// Classify joins the prober-side R2 packets with the authoritative-side Q2
+// packets by qname and classifies every responder.
+func Classify(r2 []capture.Packet, auth []capture.Packet) *Summary {
+	// qname → set of Q2 source addresses.
+	q2Sources := make(map[string][]ipv4.Addr)
+	for _, p := range auth {
+		if p.Kind != capture.KindQ2 {
+			continue
+		}
+		msg, err := dnswire.Unpack(p.Payload)
+		if err != nil {
+			continue
+		}
+		q, ok := msg.Question1()
+		if !ok {
+			continue
+		}
+		q2Sources[q.Name] = appendUnique(q2Sources[q.Name], p.Src)
+	}
+
+	s := &Summary{ByRole: make(map[Role]int)}
+	seen := make(map[ipv4.Addr]bool)
+	for _, p := range r2 {
+		if p.Kind != capture.KindR2 || seen[p.Src] {
+			continue
+		}
+		msg, err := dnswire.Unpack(p.Payload)
+		if err != nil {
+			continue
+		}
+		q, hasQ := msg.Question1()
+		var sources []ipv4.Addr
+		if hasQ {
+			sources = q2Sources[q.Name]
+		}
+		hadAnswer := len(msg.Answers) > 0
+
+		var role Role
+		switch {
+		case len(sources) == 0 && hadAnswer:
+			role = RoleFabricator
+		case len(sources) == 0:
+			role = RoleNonResolving
+		case containsAddr(sources, p.Src) && len(sources) == 1:
+			role = RoleRecursive
+		default:
+			role = RoleForwarder
+		}
+		seen[p.Src] = true
+		s.Verdicts = append(s.Verdicts, Verdict{
+			Responder: p.Src,
+			Role:      role,
+			Egress:    sources,
+			HadAnswer: hadAnswer,
+		})
+		s.ByRole[role]++
+	}
+	sort.Slice(s.Verdicts, func(i, j int) bool {
+		return s.Verdicts[i].Responder < s.Verdicts[j].Responder
+	})
+	return s
+}
+
+// Fabricators returns the responders with the §IV-C manipulation
+// signature (answers with no authoritative contact).
+func (s *Summary) Fabricators() []ipv4.Addr {
+	var out []ipv4.Addr
+	for _, v := range s.Verdicts {
+		if v.Role == RoleFabricator {
+			out = append(out, v.Responder)
+		}
+	}
+	return out
+}
+
+// Render formats the role counts.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Responder roles (prober × auth capture correlation):\n")
+	for _, role := range []Role{RoleRecursive, RoleForwarder, RoleFabricator, RoleNonResolving} {
+		fmt.Fprintf(&b, "  %-14s %d\n", role, s.ByRole[role])
+	}
+	return b.String()
+}
+
+func appendUnique(list []ipv4.Addr, a ipv4.Addr) []ipv4.Addr {
+	if containsAddr(list, a) {
+		return list
+	}
+	return append(list, a)
+}
+
+func containsAddr(list []ipv4.Addr, a ipv4.Addr) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}

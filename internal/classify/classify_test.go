@@ -1,0 +1,121 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openresolver/internal/behavior"
+	"openresolver/internal/capture"
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+)
+
+var (
+	rootAddr   = ipv4.MustParseAddr("198.41.0.4")
+	tldAddr    = ipv4.MustParseAddr("192.5.6.30")
+	authAddr   = ipv4.MustParseAddr("45.76.1.10")
+	proberAddr = ipv4.MustParseAddr("132.170.1.1")
+)
+
+const sld = "ucfsealresearch.net"
+
+func TestClassifyRoles(t *testing.T) {
+	sim := netsim.New(netsim.Config{Seed: 1, Latency: netsim.ConstantLatency(5 * time.Millisecond)})
+	dnssrv.NewReferralServer(sim, rootAddr, []dnssrv.Referral{
+		{Zone: "net", NSName: "a.gtld-servers.net", Addr: tldAddr},
+	})
+	dnssrv.NewReferralServer(sim, tldAddr, []dnssrv.Referral{
+		{Zone: sld, NSName: "ns1." + sld, Addr: authAddr},
+	})
+	authLog := capture.NewAuthLog()
+	dnssrv.NewAuthServer(sim, dnssrv.AuthConfig{
+		Addr: authAddr, SLD: sld, ClusterSize: 1000, Tap: authLog,
+	})
+
+	recursive := ipv4.MustParseAddr("60.0.0.1")
+	hidden := ipv4.MustParseAddr("60.0.0.2")
+	frontend := ipv4.MustParseAddr("60.0.0.3")
+	fabricator := ipv4.MustParseAddr("60.0.0.4")
+	refuser := ipv4.MustParseAddr("60.0.0.5")
+
+	behavior.NewResolver(sim, recursive, rootAddr, behavior.Honest(1))
+	behavior.NewResolver(sim, hidden, rootAddr, behavior.Honest(1))
+	behavior.NewResolver(sim, frontend, rootAddr, behavior.Forwarder(hidden))
+	behavior.NewResolver(sim, fabricator, rootAddr, behavior.Manipulator(ipv4.MustParseAddr("208.91.197.91")))
+	behavior.NewResolver(sim, refuser, rootAddr, behavior.Refuser())
+
+	probeLog := capture.NewProbeLog()
+	prober := sim.Register(proberAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		probeLog.AddR2(n.Now(), dg)
+	}))
+	targets := []ipv4.Addr{recursive, frontend, fabricator, refuser}
+	for i, target := range targets {
+		qname := dnssrv.FormatProbeName(0, i+1, sld)
+		q := dnswire.NewQuery(uint16(i+1), qname, dnswire.TypeA)
+		prober.Send(target, 40000, dnssrv.DNSPort, q.MustPack())
+	}
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	s := Classify(probeLog.R2(), authLog.Packets())
+	want := map[ipv4.Addr]Role{
+		recursive:  RoleRecursive,
+		frontend:   RoleForwarder,
+		fabricator: RoleFabricator,
+		refuser:    RoleNonResolving,
+	}
+	if len(s.Verdicts) != len(want) {
+		t.Fatalf("verdicts = %d, want %d", len(s.Verdicts), len(want))
+	}
+	for _, v := range s.Verdicts {
+		if want[v.Responder] != v.Role {
+			t.Errorf("%v: role %v, want %v", v.Responder, v.Role, want[v.Responder])
+		}
+	}
+	// The forwarder's verdict exposes the hidden egress resolver.
+	for _, v := range s.Verdicts {
+		if v.Responder == frontend {
+			if len(v.Egress) != 1 || v.Egress[0] != hidden {
+				t.Errorf("forwarder egress = %v, want [%v]", v.Egress, hidden)
+			}
+		}
+	}
+	if fabs := s.Fabricators(); len(fabs) != 1 || fabs[0] != fabricator {
+		t.Errorf("fabricators = %v", fabs)
+	}
+	if s.ByRole[RoleRecursive] != 1 || s.ByRole[RoleForwarder] != 1 ||
+		s.ByRole[RoleFabricator] != 1 || s.ByRole[RoleNonResolving] != 1 {
+		t.Errorf("role counts = %v", s.ByRole)
+	}
+	out := s.Render()
+	for _, wantStr := range []string{"recursive", "forwarder", "fabricator", "non-resolving"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("render missing %q:\n%s", wantStr, out)
+		}
+	}
+}
+
+func TestClassifyDeduplicatesResponders(t *testing.T) {
+	// Two R2 packets from the same source yield one verdict.
+	q := dnswire.NewQuery(1, dnssrv.FormatProbeName(0, 1, sld), dnswire.TypeA)
+	resp := dnswire.NewResponse(q)
+	resp.Header.Rcode = dnswire.RcodeRefused
+	pkt := capture.Packet{Kind: capture.KindR2, Src: ipv4.MustParseAddr("9.9.9.9"), Payload: resp.MustPack()}
+	s := Classify([]capture.Packet{pkt, pkt}, nil)
+	if len(s.Verdicts) != 1 {
+		t.Errorf("verdicts = %d", len(s.Verdicts))
+	}
+	if s.Verdicts[0].Role != RoleNonResolving {
+		t.Errorf("role = %v", s.Verdicts[0].Role)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Role(9).String() != "role(9)" {
+		t.Error("unknown role string")
+	}
+}

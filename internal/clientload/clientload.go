@@ -1,0 +1,256 @@
+// Package clientload implements the follow-up study the paper plans in §V
+// ("Open Resolver as an Existent Threat"): a malicious open resolver is
+// only an *actual* threat when legitimate clients query it, so the paper
+// proposes measuring the real exposure of client traffic — the analysis it
+// intended to run against DNS-OARC's Day-In-The-Life collections.
+//
+// The package simulates that study end to end: a population of stub
+// clients, each configured with a small set of recursive resolvers (as
+// DHCP would hand out), issues a Zipf-distributed web workload. Resolvers
+// are drawn from the measured open-resolver population — overwhelmingly
+// honest, a small fraction manipulating answers toward threat-listed
+// addresses. The result quantifies the paper's §V observation: exposure is
+// governed by how client query share lands on the malicious minority, not
+// by the minority's size alone.
+package clientload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"openresolver/internal/behavior"
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/threatintel"
+)
+
+// Config parameterizes the exposure study.
+type Config struct {
+	// Clients is the stub-client population size.
+	Clients int
+	// QueriesPerClient is the workload volume per client.
+	QueriesPerClient int
+	// Resolvers is the open-resolver pool size the clients draw from.
+	Resolvers int
+	// MaliciousFraction is the share of the pool that manipulates answers
+	// (the paper measured 26,926/6,506,258 ≈ 0.41% of responders in 2018).
+	MaliciousFraction float64
+	// Domains is the web-workload domain-popularity universe.
+	Domains int
+	// ZipfS is the popularity skew (>1; web workloads are ≈1.2–1.8).
+	ZipfS float64
+	// ResolversPerClient is how many resolvers each client is configured
+	// with (round-robin use, as stub resolvers do).
+	ResolversPerClient int
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// Result summarizes client exposure.
+type Result struct {
+	Queries           uint64
+	Answered          uint64
+	MaliciousAnswers  uint64
+	CorrectAnswers    uint64
+	ExposedClients    int // clients that received ≥1 malicious answer
+	TotalClients      int
+	MaliciousByDomain map[string]uint64
+	// CacheHitRatio is the honest resolvers' answer-cache hit ratio over
+	// the workload — high for skewed workloads, which is exactly why the
+	// measurement campaign needed unique subdomains (§III-B).
+	CacheHitRatio float64
+	Duration      time.Duration
+}
+
+// ExposureRate returns malicious answers per answered query.
+func (r *Result) ExposureRate() float64 {
+	if r.Answered == 0 {
+		return 0
+	}
+	return float64(r.MaliciousAnswers) / float64(r.Answered)
+}
+
+// Simulation layout.
+var (
+	rootAddr     = ipv4.MustParseAddr("198.41.0.4")
+	tldAddr      = ipv4.MustParseAddr("192.5.6.30")
+	webAuthAddr  = ipv4.MustParseAddr("45.76.9.9")
+	resolverBase = ipv4.MustParseAddr("31.0.0.0")
+	clientBase   = ipv4.MustParseAddr("41.0.0.0")
+)
+
+// webZone is the simulated popular-web zone the clients browse.
+const webZone = "popular-web.net"
+
+// client is a stub resolver host issuing the workload.
+type client struct {
+	study     *study
+	resolvers []ipv4.Addr
+	nextRes   int
+	pending   map[uint16]string // query id -> qname
+	exposed   bool
+}
+
+func (c *client) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
+	msg, err := dnswire.Unpack(dg.Payload)
+	if err != nil || !msg.Header.QR {
+		return
+	}
+	qname, ok := c.pending[msg.Header.ID]
+	if !ok {
+		return
+	}
+	delete(c.pending, msg.Header.ID)
+	c.study.result.Answered++
+	addr, hasA := msg.FirstA()
+	if !hasA {
+		return
+	}
+	switch {
+	case ipv4.Addr(addr) == dnssrv.TruthAddr(qname):
+		c.study.result.CorrectAnswers++
+	default:
+		if _, mal := c.study.threat.Lookup(ipv4.Addr(addr)); mal {
+			c.study.result.MaliciousAnswers++
+			c.study.result.MaliciousByDomain[qname]++
+			if !c.exposed {
+				c.exposed = true
+				c.study.result.ExposedClients++
+			}
+		}
+	}
+}
+
+// ask issues one query to the client's next resolver.
+func (c *client) ask(n *netsim.Node, id uint16, qname string) {
+	res := c.resolvers[c.nextRes%len(c.resolvers)]
+	c.nextRes++
+	q := dnswire.NewQuery(id, qname, dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		return
+	}
+	c.pending[id] = qname
+	c.study.result.Queries++
+	n.Send(res, 50000, dnssrv.DNSPort, wire)
+}
+
+type study struct {
+	cfg    Config
+	threat *threatintel.DB
+	result *Result
+}
+
+// Run executes the exposure study.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Clients <= 0 || cfg.QueriesPerClient <= 0 || cfg.Resolvers <= 0 {
+		return nil, fmt.Errorf("clientload: clients, queries and resolvers must be positive")
+	}
+	if cfg.MaliciousFraction < 0 || cfg.MaliciousFraction >= 1 {
+		return nil, fmt.Errorf("clientload: malicious fraction %v out of [0,1)", cfg.MaliciousFraction)
+	}
+	if cfg.Domains <= 0 {
+		cfg.Domains = 1000
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.3
+	}
+	if cfg.ResolversPerClient <= 0 {
+		cfg.ResolversPerClient = 2
+	}
+
+	sim := netsim.New(netsim.Config{
+		Seed:    cfg.Seed,
+		Latency: netsim.UniformLatency(2*time.Millisecond, 30*time.Millisecond),
+	})
+
+	// Hierarchy for the popular-web zone.
+	dnssrv.NewReferralServer(sim, rootAddr, []dnssrv.Referral{
+		{Zone: "net", NSName: "a.gtld-servers.net", Addr: tldAddr},
+	})
+	dnssrv.NewReferralServer(sim, tldAddr, []dnssrv.Referral{
+		{Zone: webZone, NSName: "ns1." + webZone, Addr: webAuthAddr},
+	})
+	dnssrv.NewAuthServer(sim, dnssrv.AuthConfig{
+		Addr: webAuthAddr, SLD: webZone, AnyName: true,
+	})
+
+	// The threat landscape and the resolver pool.
+	feed := threatintel.NewFeed(paperdata.Y2018, cfg.Seed)
+	malAddrs := feed.DB.Addrs()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xC11E47))
+
+	nMal := int(float64(cfg.Resolvers) * cfg.MaliciousFraction)
+	resolvers := make([]ipv4.Addr, cfg.Resolvers)
+	var honest []*behavior.Resolver
+	for i := range resolvers {
+		addr := resolverBase + ipv4.Addr(i+1)
+		resolvers[i] = addr
+		if i < nMal {
+			evil := malAddrs[rng.Intn(len(malAddrs))]
+			behavior.NewResolver(sim, addr, rootAddr, behavior.Manipulator(evil))
+			continue
+		}
+		honest = append(honest, behavior.NewResolver(sim, addr, rootAddr, behavior.Honest(1)))
+	}
+	// Shuffle so malicious resolvers are spread over the popularity range.
+	rng.Shuffle(len(resolvers), func(i, j int) {
+		resolvers[i], resolvers[j] = resolvers[j], resolvers[i]
+	})
+
+	st := &study{
+		cfg:    cfg,
+		threat: feed.DB,
+		result: &Result{TotalClients: cfg.Clients, MaliciousByDomain: make(map[string]uint64)},
+	}
+
+	// Domain popularity: Zipf over the domain universe.
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Domains-1))
+
+	// Clients with their resolver configuration and staggered workloads.
+	var id uint16
+	for i := 0; i < cfg.Clients; i++ {
+		c := &client{study: st, pending: make(map[uint16]string)}
+		for j := 0; j < cfg.ResolversPerClient; j++ {
+			c.resolvers = append(c.resolvers, resolvers[rng.Intn(len(resolvers))])
+		}
+		node := sim.Register(clientBase+ipv4.Addr(i+1), c)
+		for q := 0; q < cfg.QueriesPerClient; q++ {
+			qname := fmt.Sprintf("site%04d.%s", zipf.Uint64(), webZone)
+			id++
+			qid := id
+			// Stagger sends across one virtual minute.
+			delay := time.Duration(rng.Int63n(int64(time.Minute)))
+			func(c *client, node *netsim.Node, qid uint16, qname string) {
+				node.After(delay, func() { c.ask(node, qid, qname) })
+			}(c, node, qid, qname)
+		}
+	}
+
+	if err := sim.Run(0); err != nil {
+		return nil, err
+	}
+
+	// Cache effectiveness across the honest pool.
+	hits, upstream := engineTotals(honest)
+	if hits+upstream > 0 {
+		st.result.CacheHitRatio = float64(hits) / float64(hits+upstream)
+	}
+	st.result.Duration = sim.Now()
+	return st.result, nil
+}
+
+// engineTotals sums cache hits and upstream resolutions over honest
+// resolvers.
+func engineTotals(honest []*behavior.Resolver) (hits, resolutions uint64) {
+	for _, h := range honest {
+		ch, up := h.CacheStats()
+		hits += ch
+		resolutions += up
+	}
+	return hits, resolutions
+}

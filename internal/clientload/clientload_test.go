@@ -1,0 +1,117 @@
+package clientload
+
+import (
+	"testing"
+)
+
+func TestExposureStudy(t *testing.T) {
+	res, err := Run(Config{
+		Clients:            200,
+		QueriesPerClient:   20,
+		Resolvers:          100,
+		MaliciousFraction:  0.05,
+		Domains:            500,
+		ZipfS:              1.3,
+		ResolversPerClient: 2,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 4000 {
+		t.Errorf("queries = %d", res.Queries)
+	}
+	if res.Answered != res.Queries {
+		t.Errorf("answered %d of %d", res.Answered, res.Queries)
+	}
+	if res.CorrectAnswers+res.MaliciousAnswers != res.Answered {
+		t.Errorf("correct %d + malicious %d != answered %d",
+			res.CorrectAnswers, res.MaliciousAnswers, res.Answered)
+	}
+	// With 5% malicious resolvers and 2 resolvers per client, malicious
+	// answer share should be around 5% (clients round-robin).
+	rate := res.ExposureRate()
+	if rate < 0.01 || rate > 0.12 {
+		t.Errorf("exposure rate = %.3f, want ≈0.05", rate)
+	}
+	if res.ExposedClients == 0 || res.ExposedClients > res.TotalClients {
+		t.Errorf("exposed clients = %d of %d", res.ExposedClients, res.TotalClients)
+	}
+	// Skewed workloads produce substantial answer-cache hit ratios — the
+	// reason the measurement needed unique subdomains (§III-B).
+	if res.CacheHitRatio < 0.3 {
+		t.Errorf("cache hit ratio = %.3f, want ≥ 0.3 for a Zipf workload", res.CacheHitRatio)
+	}
+	if len(res.MaliciousByDomain) == 0 {
+		t.Error("no per-domain malicious attribution")
+	}
+}
+
+func TestZeroMaliciousPoolHasNoExposure(t *testing.T) {
+	res, err := Run(Config{
+		Clients: 50, QueriesPerClient: 10, Resolvers: 20,
+		MaliciousFraction: 0, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaliciousAnswers != 0 || res.ExposedClients != 0 {
+		t.Errorf("exposure without malicious resolvers: %+v", res)
+	}
+	if res.CorrectAnswers != res.Answered {
+		t.Errorf("correct %d != answered %d", res.CorrectAnswers, res.Answered)
+	}
+}
+
+func TestExposureGrowsWithMaliciousShare(t *testing.T) {
+	rate := func(frac float64) float64 {
+		res, err := Run(Config{
+			Clients: 150, QueriesPerClient: 10, Resolvers: 100,
+			MaliciousFraction: frac, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExposureRate()
+	}
+	low, high := rate(0.02), rate(0.20)
+	if high <= low {
+		t.Errorf("exposure did not grow with malicious share: %.3f vs %.3f", low, high)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Clients: 0, QueriesPerClient: 1, Resolvers: 1}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Run(Config{Clients: 1, QueriesPerClient: 1, Resolvers: 1, MaliciousFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Clients: 60, QueriesPerClient: 5, Resolvers: 30, MaliciousFraction: 0.1, Seed: 4}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaliciousAnswers != b.MaliciousAnswers || a.ExposedClients != b.ExposedClients ||
+		a.CacheHitRatio != b.CacheHitRatio {
+		t.Error("runs with equal seeds diverged")
+	}
+}
+
+func BenchmarkExposureStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Clients: 100, QueriesPerClient: 10, Resolvers: 50,
+			MaliciousFraction: 0.05, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

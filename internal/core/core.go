@@ -1,0 +1,314 @@
+// Package core is the public API of the reproduction: it assembles the
+// substrates (network simulator, DNS hierarchy, resolver population,
+// prober, threat intelligence, geolocation) into complete measurement
+// campaigns and produces the paper's full analysis report.
+//
+// Two execution modes share one analysis pipeline:
+//
+//   - RunSimulation executes the campaign end to end on the discrete-event
+//     network: the prober actually scans the (sampled) address space, open
+//     resolvers actually recurse through root → TLD → authoritative
+//     servers, and every R2 is a real packet captured at the prober. Run it
+//     at SampleShift ≥ 6; a full-scale simulation would need millions of
+//     live hosts.
+//
+//   - RunSynthetic streams the population's responses directly into the
+//     analysis pipeline as encoded wire packets, in constant memory, which
+//     makes the full-scale (SampleShift 0) campaign feasible and exact.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/behavior"
+	"openresolver/internal/capture"
+	"openresolver/internal/classify"
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/geo"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/population"
+	"openresolver/internal/prober"
+	"openresolver/internal/scan"
+	"openresolver/internal/threatintel"
+)
+
+// Infrastructure addresses of the measurement (outside every reserved
+// block; excluded from probing like the paper's own systems).
+var (
+	// ProberAddr hosts the modified-ZMap prober (a campus address, as in
+	// the paper's UCF deployment).
+	ProberAddr = ipv4.MustParseAddr("132.170.3.9")
+	// RootAddr stands in for the root name-server infrastructure.
+	RootAddr = ipv4.MustParseAddr("198.41.0.4")
+	// TLDAddr stands in for the .net gTLD servers.
+	TLDAddr = ipv4.MustParseAddr("192.5.6.30")
+	// AuthAddr is the controlled authoritative server (a cloud instance in
+	// the paper).
+	AuthAddr = ipv4.MustParseAddr("45.76.1.10")
+)
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Year selects the 2013 or 2018 campaign model.
+	Year paperdata.Year
+	// SampleShift scales the universe and population to 1/2^SampleShift.
+	SampleShift uint8
+	// Seed drives all randomness.
+	Seed int64
+	// PacketsPerSec overrides the campaign's probe rate (0 = paper value).
+	PacketsPerSec uint64
+	// KeepPackets retains raw R2 packets in the dataset (simulation mode).
+	KeepPackets bool
+}
+
+func (c Config) pps() uint64 {
+	if c.PacketsPerSec > 0 {
+		return c.PacketsPerSec
+	}
+	return paperdata.Campaigns[c.Year].PacketsPerSec
+}
+
+// scaledClusterSize returns the subdomain-cluster size at the run's scale.
+func (c Config) scaledClusterSize() int {
+	s := paperdata.ClusterSize >> c.SampleShift
+	if s < 16 {
+		s = 16
+	}
+	return s
+}
+
+// sendSkip returns the modeled 2013 send-loss probability (discrepancy D2).
+func (c Config) sendSkip() float64 {
+	if c.Year != paperdata.Y2013 {
+		return 0
+	}
+	allowed := float64(paperdata.Campaigns[paperdata.Y2018].Q1)
+	return 1 - float64(paperdata.Campaigns[paperdata.Y2013].Q1)/allowed
+}
+
+// Dataset is the outcome of one campaign.
+type Dataset struct {
+	Config Config
+	// Report carries every regenerated table.
+	Report *analysis.Report
+	// Population is the compiled resolver population the campaign ran
+	// against.
+	Population *population.Population
+	// ClustersUsed counts subdomain clusters consumed (§III-B).
+	ClustersUsed int
+	// SubdomainsReused counts pool returns (simulation mode).
+	SubdomainsReused uint64
+	// NetStats are the simulator's packet counters (simulation mode).
+	NetStats netsim.Stats
+	// R2Packets are the raw captured responses (KeepPackets only).
+	R2Packets []capture.Packet
+	// Roles classifies every responder by correlating the prober and
+	// authoritative captures (simulation mode with KeepPackets only).
+	Roles *classify.Summary
+}
+
+// buildDeps constructs the shared dependencies of both modes.
+func buildDeps(cfg Config) (*population.Population, *threatintel.Feed, *geo.Registry, *scan.Universe, error) {
+	feed := threatintel.NewFeed(cfg.Year, cfg.Seed)
+	pop, err := population.Build(population.Config{
+		Year: cfg.Year, SampleShift: cfg.SampleShift, Seed: cfg.Seed, Feed: feed,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	reg := geo.DefaultRegistry()
+	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return pop, feed, reg, u, nil
+}
+
+// RunSynthetic streams the full campaign through the analysis pipeline:
+// every response is encoded to wire format and decoded back by the
+// analyzer, exercising the identical classification path as the simulation.
+func RunSynthetic(cfg Config) (*Dataset, error) {
+	pop, feed, _, _, err := buildDeps(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizePopulation(cfg, pop, feed.DB)
+}
+
+// SynthesizePopulation streams an arbitrary compiled population through
+// the analysis pipeline. threat must cover every malicious address the
+// population answers with (for mixed populations, merge the years' feeds).
+// It is the engine behind RunSynthetic and the drift-monitoring extension.
+func SynthesizePopulation(cfg Config, pop *population.Population, threat *threatintel.DB) (*Dataset, error) {
+	reg := geo.DefaultRegistry()
+	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := population.NewAssigner(u, reg, pop, ProberAddr, RootAddr, TLDAddr, AuthAddr)
+	if err != nil {
+		return nil, err
+	}
+	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg})
+
+	clusterSize := cfg.scaledClusterSize()
+	var qid uint16
+	var nameIdx uint64
+	buf := make([]byte, 0, 512)
+	for _, cohort := range pop.Cohorts {
+		for i := uint64(0); i < cohort.Count; i++ {
+			src, err := assigner.Next(cohort.Country)
+			if err != nil {
+				return nil, err
+			}
+			qname := dnssrv.FormatProbeName(
+				int(nameIdx/uint64(clusterSize)), int(nameIdx%uint64(clusterSize)), paperdata.SLD)
+			nameIdx++
+			qid++
+			q := dnswire.NewQuery(qid, qname, dnswire.TypeA)
+			res := dnssrv.Result{}
+			if cohort.Profile.Answer == behavior.AnswerTruth {
+				res = dnssrv.Result{Addr: dnssrv.TruthAddr(qname), Rcode: dnswire.RcodeNoError, OK: true}
+			}
+			resp := behavior.BuildResponse(q, cohort.Profile, res)
+			buf, err = resp.Append(buf[:0])
+			if err != nil {
+				return nil, fmt.Errorf("core: encode response: %w", err)
+			}
+			acc.AddR2(src, buf)
+		}
+	}
+
+	camp := syntheticCampaignCounts(cfg, pop, clusterSize)
+	ds := &Dataset{
+		Config:       cfg,
+		Report:       acc.Report(camp),
+		Population:   pop,
+		ClustersUsed: int((pop.ExpectedR2 + uint64(clusterSize) - 1) / uint64(clusterSize)),
+	}
+	return ds, nil
+}
+
+// syntheticCampaignCounts derives the Table II row for a synthetic run: Q1
+// from the universe (minus modeled 2013 send loss), Q2/R1 from the
+// population's calibrated upstream plan, and the duration from the probe
+// rate plus cluster-reload pauses.
+func syntheticCampaignCounts(cfg Config, pop *population.Population, clusterSize int) analysis.CampaignCounts {
+	camp := paperdata.Campaigns[cfg.Year]
+	q1 := camp.Q1
+	if cfg.SampleShift > 0 {
+		half := uint64(1) << cfg.SampleShift >> 1
+		q1 = (q1 + half) >> cfg.SampleShift
+	}
+	pps := cfg.pps()
+	clusters := (pop.ExpectedR2 + uint64(clusterSize) - 1) / uint64(clusterSize)
+	dur := time.Duration(q1/pps)*time.Second +
+		time.Duration(clusters)*paperdata.ClusterReloadTime
+	return analysis.CampaignCounts{
+		Q1: q1, Q2: pop.ExpectedQ2, R1: pop.ExpectedQ2, R2: pop.ExpectedR2,
+		Duration: dur, PacketsPerSec: pps, SampleShift: cfg.SampleShift,
+	}
+}
+
+// RunSimulation executes the campaign on the discrete-event network.
+func RunSimulation(cfg Config) (*Dataset, error) {
+	if cfg.SampleShift < 6 {
+		return nil, fmt.Errorf("core: simulation mode needs SampleShift ≥ 6 (got %d); use RunSynthetic for full scale", cfg.SampleShift)
+	}
+	pop, feed, reg, u, err := buildDeps(cfg)
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := population.NewAssigner(u, reg, pop, ProberAddr, RootAddr, TLDAddr, AuthAddr)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := netsim.New(netsim.Config{
+		Seed:    cfg.Seed,
+		Latency: netsim.UniformLatency(10*time.Millisecond, 80*time.Millisecond),
+	})
+
+	// The DNS hierarchy of Fig. 1 with the tcpdump tap of Fig. 2.
+	authLog := capture.NewAuthLog()
+	authLog.Keep = cfg.KeepPackets
+	dnssrv.NewReferralServer(sim, RootAddr, []dnssrv.Referral{
+		{Zone: "net", NSName: "a.gtld-servers.net", Addr: TLDAddr},
+	})
+	dnssrv.NewReferralServer(sim, TLDAddr, []dnssrv.Referral{
+		{Zone: paperdata.SLD, NSName: "ns1." + paperdata.SLD, Addr: AuthAddr},
+	})
+	auth := dnssrv.NewAuthServer(sim, dnssrv.AuthConfig{
+		Addr: AuthAddr, SLD: paperdata.SLD,
+		ClusterSize: cfg.scaledClusterSize(),
+		ReloadTime:  paperdata.ClusterReloadTime,
+		Tap:         authLog,
+	})
+
+	// The resolver population.
+	for _, cohort := range pop.Cohorts {
+		for i := uint64(0); i < cohort.Count; i++ {
+			src, err := assigner.Next(cohort.Country)
+			if err != nil {
+				return nil, err
+			}
+			behavior.NewResolver(sim, src, RootAddr, cohort.Profile)
+		}
+	}
+
+	// The analysis pipeline, fed live from the prober's capture log.
+	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: feed.DB, Geo: reg})
+	probeLog := capture.NewProbeLog()
+	probeLog.Keep = cfg.KeepPackets
+	probeLog.Sink = func(p capture.Packet) { acc.AddR2(p.Src, p.Payload) }
+
+	infra := map[ipv4.Addr]bool{ProberAddr: true, RootAddr: true, TLDAddr: true, AuthAddr: true}
+	pr, err := prober.Start(sim, prober.Config{
+		Addr:          ProberAddr,
+		Universe:      u,
+		SLD:           paperdata.SLD,
+		ClusterSize:   cfg.scaledClusterSize(),
+		PacketsPerSec: cfg.pps(),
+		Timeout:       2 * time.Second,
+		SendSkip:      cfg.sendSkip(),
+		Auth:          auth,
+		Log:           probeLog,
+		Skip:          func(a ipv4.Addr) bool { return infra[a] },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := sim.Run(0); err != nil {
+		return nil, err
+	}
+	if !pr.Done() {
+		return nil, fmt.Errorf("core: simulation quiesced before the prober finished")
+	}
+
+	authC := authLog.Counters()
+	camp := analysis.CampaignCounts{
+		Q1: pr.Sent(), Q2: authC.Q2, R1: authC.R1, R2: probeLog.Counters().R2,
+		Duration:      pr.Duration(),
+		PacketsPerSec: cfg.pps(),
+		SampleShift:   cfg.SampleShift,
+	}
+	ds := &Dataset{
+		Config:           cfg,
+		Report:           acc.Report(camp),
+		Population:       pop,
+		ClustersUsed:     pr.ClustersUsed(),
+		SubdomainsReused: pr.Reused(),
+		NetStats:         sim.Stats(),
+		R2Packets:        probeLog.R2(),
+	}
+	if cfg.KeepPackets {
+		ds.Roles = classify.Classify(probeLog.R2(), authLog.Packets())
+	}
+	return ds, nil
+}

@@ -1,0 +1,197 @@
+// Package dist provides the deterministic integer-distribution primitives
+// used by the population compiler: largest-remainder apportionment (for
+// scaling the paper's counts down to a sampled universe while preserving
+// totals) and the northwest-corner transportation rule (for constructing an
+// integer joint distribution from the marginal tables the paper reports).
+//
+// Everything here is exact integer arithmetic — no floats — so population
+// construction is bit-for-bit reproducible and sums are preserved by
+// construction, not by rounding luck.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the distribution primitives.
+var (
+	ErrMarginalMismatch = errors.New("dist: row and column sums differ")
+	ErrZeroWeights      = errors.New("dist: all weights are zero with nonzero target")
+)
+
+// Sum returns the sum of counts.
+func Sum(counts []uint64) uint64 {
+	var s uint64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+// LargestRemainder apportions target into len(weights) integer parts
+// proportional to weights, using the largest-remainder (Hamilton) method.
+// The result always sums to target exactly. Ties in remainders are broken
+// by lower index, making the apportionment deterministic.
+func LargestRemainder(weights []uint64, target uint64) ([]uint64, error) {
+	total := Sum(weights)
+	if total == 0 {
+		if target == 0 {
+			return make([]uint64, len(weights)), nil
+		}
+		return nil, ErrZeroWeights
+	}
+	out := make([]uint64, len(weights))
+	type rem struct {
+		idx int
+		r   uint64
+	}
+	rems := make([]rem, 0, len(weights))
+	var allocated uint64
+	for i, w := range weights {
+		// floor(w*target/total) without overflow for the magnitudes used
+		// here (counts ≤ 2^32, so w*target fits in uint64 up to 2^32*2^32
+		// only if both are large; use 128-bit-safe split).
+		q, r := mulDiv(w, target, total)
+		out[i] = q
+		allocated += q
+		rems = append(rems, rem{i, r})
+	}
+	// Distribute the shortfall to the largest remainders.
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].r != rems[b].r {
+			return rems[a].r > rems[b].r
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	short := target - allocated
+	for i := uint64(0); i < short; i++ {
+		out[rems[i%uint64(len(rems))].idx]++
+	}
+	return out, nil
+}
+
+// mulDiv returns (a*b/c, a*b mod c) using 128-bit intermediate arithmetic.
+func mulDiv(a, b, c uint64) (quo, rem uint64) {
+	// Decompose a*b = hi*2^64 + lo via 32-bit halves.
+	aLo, aHi := a&0xFFFFFFFF, a>>32
+	bLo, bHi := b&0xFFFFFFFF, b>>32
+	// Partial products.
+	ll := aLo * bLo
+	lh := aLo * bHi
+	hl := aHi * bLo
+	hh := aHi * bHi
+	mid := lh + (ll >> 32)
+	carry := uint64(0)
+	mid2 := mid + hl
+	if mid2 < mid {
+		carry = 1
+	}
+	lo := (mid2 << 32) | (ll & 0xFFFFFFFF)
+	hi := hh + (mid2 >> 32) + (carry << 32)
+	// Long division of hi:lo by c.
+	if hi == 0 {
+		return lo / c, lo % c
+	}
+	// Bit-by-bit division; magnitudes here make this rare and cheap enough.
+	var q, r uint64
+	for i := 127; i >= 0; i-- {
+		r <<= 1
+		var bit uint64
+		if i >= 64 {
+			bit = hi >> (i - 64) & 1
+		} else {
+			bit = lo >> i & 1
+		}
+		r |= bit
+		if r >= c {
+			r -= c
+			if i < 64 {
+				q |= 1 << i
+			}
+		}
+	}
+	return q, r
+}
+
+// ScaleDown divides each count by 2^shift in aggregate: the result is the
+// largest-remainder apportionment of round(total/2^shift) over the counts.
+// This is how a paper-scale cohort list becomes a sampled-universe cohort
+// list with proportions preserved.
+func ScaleDown(counts []uint64, shift uint8) ([]uint64, error) {
+	total := Sum(counts)
+	half := uint64(1) << shift >> 1
+	target := (total + half) >> shift
+	return LargestRemainder(counts, target)
+}
+
+// Transport returns an integer matrix with the given row and column sums,
+// computed by the northwest-corner rule. It errors if the sums differ.
+// The NW rule is deterministic and yields the unique staircase solution,
+// which we use to join the paper's marginal tables (e.g. Table IV's RA
+// marginal with Table V's AA marginal) into one joint distribution.
+func Transport(rows, cols []uint64) ([][]uint64, error) {
+	if Sum(rows) != Sum(cols) {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d", ErrMarginalMismatch, Sum(rows), Sum(cols))
+	}
+	m := make([][]uint64, len(rows))
+	for i := range m {
+		m[i] = make([]uint64, len(cols))
+	}
+	rowLeft := append([]uint64(nil), rows...)
+	colLeft := append([]uint64(nil), cols...)
+	i, j := 0, 0
+	for i < len(rows) && j < len(cols) {
+		x := min(rowLeft[i], colLeft[j])
+		m[i][j] = x
+		rowLeft[i] -= x
+		colLeft[j] -= x
+		// Advance past exhausted row/column; when both hit zero advance the
+		// row first (the classic NW convention).
+		if rowLeft[i] == 0 {
+			i++
+		} else {
+			j++
+		}
+		// Skip any zero columns so the loop terminates on degenerate input.
+		for j < len(cols) && colLeft[j] == 0 && i < len(rows) && rowLeft[i] != 0 {
+			j++
+		}
+	}
+	return m, nil
+}
+
+// SpreadUnique produces multiplicities for unique values: it distributes
+// total over n items such that every item gets at least 1 and the result
+// sums to total exactly, with a mildly decreasing profile (the first items
+// receive the remainder) matching the long-tail shape of incorrect-answer
+// IPs in Table VII. It errors if total < n.
+func SpreadUnique(total uint64, n int) ([]uint64, error) {
+	if n == 0 {
+		if total != 0 {
+			return nil, fmt.Errorf("dist: %d packets over zero unique values", total)
+		}
+		return nil, nil
+	}
+	if total < uint64(n) {
+		return nil, fmt.Errorf("dist: total %d < unique %d", total, n)
+	}
+	out := make([]uint64, n)
+	base := total / uint64(n)
+	rem := total - base*uint64(n)
+	for i := range out {
+		out[i] = base
+		if uint64(i) < rem {
+			out[i]++
+		}
+	}
+	return out, nil
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,24 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"openresolver/internal/dist"
+)
+
+func ExampleLargestRemainder() {
+	// Scale the 2018 campaign's answer classes down to 100 resolvers.
+	classes := []uint64{2752562, 111093, 3642109} // correct, incorrect, none
+	scaled, _ := dist.LargestRemainder(classes, 100)
+	fmt.Println(scaled)
+	// Output: [42 2 56]
+}
+
+func ExampleTransport() {
+	// Join the RA marginal with the AA marginal of one answer class.
+	byRA := []uint64{3994, 2748568}
+	byAA := []uint64{2727467, 25095}
+	joint, _ := dist.Transport(byRA, byAA)
+	fmt.Println(joint[0], joint[1])
+	// Output: [3994 0] [2723473 25095]
+}

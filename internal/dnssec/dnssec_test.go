@@ -1,0 +1,183 @@
+package dnssec
+
+import (
+	"testing"
+	"time"
+
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/dnswire"
+)
+
+func TestSignAndValidate(t *testing.T) {
+	key, err := GenerateKey("signed-zone.net", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "www.signed-zone.net"
+	a := dnswire.RR{
+		Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+		TTL: 60, A: uint32(dnssrv.TruthAddr(name)),
+	}
+	sig, err := key.Sign(name, []dnswire.RR{a}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Type != dnswire.TypeRRSIG {
+		t.Fatalf("sig type = %v", sig.Type)
+	}
+
+	msg := &dnswire.Message{
+		Header:    dnswire.Header{QR: true},
+		Questions: []dnswire.Question{{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+		Answers:   []dnswire.RR{a, sig},
+	}
+	// Through the wire and back: validation operates on decoded packets.
+	back, err := dnswire.Unpack(msg.MustPack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(key)
+	if !v.ValidateMessage(name, back) {
+		t.Error("valid signature rejected")
+	}
+
+	// Tamper with the answer: validation must fail.
+	tampered, _ := dnswire.Unpack(msg.MustPack())
+	tampered.Answers[0].A++
+	tampered.Answers[0].Data = nil
+	if v.ValidateMessage(name, tampered) {
+		t.Error("tampered A record accepted")
+	}
+
+	// Corrupt the signature: validation must fail.
+	corrupted, _ := dnswire.Unpack(msg.MustPack())
+	corrupted.Answers[1].Data[len(corrupted.Answers[1].Data)-1] ^= 0xFF
+	if v.ValidateMessage(name, corrupted) {
+		t.Error("corrupted signature accepted")
+	}
+
+	// Unsigned answers fail closed under a validator.
+	unsigned := &dnswire.Message{
+		Header:  dnswire.Header{QR: true},
+		Answers: []dnswire.RR{a},
+	}
+	if v.ValidateMessage(name, unsigned) {
+		t.Error("unsigned answer accepted")
+	}
+
+	// A signer outside the trust anchors fails.
+	otherKey, _ := GenerateKey("other-zone.net", 2)
+	otherSig, err := otherKey.Sign(name, []dnswire.RR{a}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := &dnswire.Message{
+		Header:  dnswire.Header{QR: true},
+		Answers: []dnswire.RR{a, otherSig},
+	}
+	if v.ValidateMessage(name, foreign) {
+		t.Error("foreign signer accepted")
+	}
+}
+
+func TestKeyDeterminismAndTag(t *testing.T) {
+	k1, _ := GenerateKey("z.net", 7)
+	k2, _ := GenerateKey("z.net", 7)
+	k3, _ := GenerateKey("z.net", 8)
+	if string(k1.Public) != string(k2.Public) {
+		t.Error("same seed produced different keys")
+	}
+	if string(k1.Public) == string(k3.Public) {
+		t.Error("different seeds produced identical keys")
+	}
+	if k1.KeyTag() != k2.KeyTag() {
+		t.Error("key tags differ for identical keys")
+	}
+	dk := k1.DNSKEY()
+	if dk.Type != dnswire.TypeDNSKEY || len(dk.Data) != 4+32 {
+		t.Errorf("DNSKEY = %+v", dk)
+	}
+}
+
+func TestSigRDATARoundTrip(t *testing.T) {
+	s := &sigRDATA{
+		TypeCovered: dnswire.TypeA, Algorithm: AlgEd25519, Labels: 3,
+		OrigTTL: 60, Expiration: 1000000, Inception: 999000, KeyTag: 4242,
+		SignerName: "signed-zone.net", Signature: []byte{1, 2, 3, 4},
+	}
+	data, err := s.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseSigRDATA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TypeCovered != s.TypeCovered || back.KeyTag != s.KeyTag ||
+		back.SignerName != s.SignerName || string(back.Signature) != string(s.Signature) {
+		t.Errorf("round trip: %+v vs %+v", back, s)
+	}
+	if _, err := parseSigRDATA([]byte{1, 2}); err == nil {
+		t.Error("short RDATA accepted")
+	}
+}
+
+func TestValidatorSurvey(t *testing.T) {
+	res, err := RunSurvey(SurveyConfig{Resolvers: 100, ValidatorFraction: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probed != 100 {
+		t.Errorf("probed = %d", res.Probed)
+	}
+	if res.Validators != 30 {
+		t.Errorf("validators = %d, want 30", res.Validators)
+	}
+	if res.NonValidating != 70 {
+		t.Errorf("non-validating = %d, want 70", res.NonValidating)
+	}
+	if res.Inconclusive != 0 {
+		t.Errorf("inconclusive = %d", res.Inconclusive)
+	}
+	if r := res.Rate(); r != 0.3 {
+		t.Errorf("rate = %.3f", r)
+	}
+}
+
+func TestValidatorSurveyEdges(t *testing.T) {
+	if _, err := RunSurvey(SurveyConfig{Resolvers: 0}); err == nil {
+		t.Error("zero resolvers accepted")
+	}
+	if _, err := RunSurvey(SurveyConfig{Resolvers: 1, ValidatorFraction: 2}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	all, err := RunSurvey(SurveyConfig{Resolvers: 20, ValidatorFraction: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Validators != 20 || all.Rate() != 1 {
+		t.Errorf("all-validators survey = %+v", all)
+	}
+	none := &SurveyResult{}
+	if none.Rate() != 0 {
+		t.Error("empty rate not zero")
+	}
+}
+
+func BenchmarkSignAndValidate(b *testing.B) {
+	key, _ := GenerateKey("z.net", 1)
+	name := "www.z.net"
+	a := dnswire.RR{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, A: 0x01020304}
+	v := NewValidator(key)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sig, err := key.Sign(name, []dnswire.RR{a}, time.Duration(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg := &dnswire.Message{Header: dnswire.Header{QR: true}, Answers: []dnswire.RR{a, sig}}
+		if !v.ValidateMessage(name, msg) {
+			b.Fatal("validation failed")
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package dnssec_test
+
+import (
+	"fmt"
+	"time"
+
+	"openresolver/internal/dnssec"
+	"openresolver/internal/dnswire"
+)
+
+func ExampleValidator_ValidateMessage() {
+	key, _ := dnssec.GenerateKey("signed-zone.net", 1)
+	name := "www.signed-zone.net"
+	a := dnswire.RR{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, A: 0x01020304}
+	sig, _ := key.Sign(name, []dnswire.RR{a}, time.Hour)
+
+	genuine := &dnswire.Message{Header: dnswire.Header{QR: true}, Answers: []dnswire.RR{a, sig}}
+	forged := &dnswire.Message{Header: dnswire.Header{QR: true}, Answers: []dnswire.RR{a, sig}}
+	forged.Answers[0].A = 0x0D05BC55 // the §IV-C manipulation
+	forged.Answers[0].Data = nil
+
+	v := dnssec.NewValidator(key)
+	fmt.Println(v.ValidateMessage(name, genuine), v.ValidateMessage(name, forged))
+	// Output: true false
+}

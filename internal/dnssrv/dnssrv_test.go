@@ -1,0 +1,686 @@
+package dnssrv
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+)
+
+var (
+	rootAddr = ipv4.MustParseAddr("198.41.0.4")
+	tldAddr  = ipv4.MustParseAddr("192.5.6.30")
+	authAddr = ipv4.MustParseAddr("45.76.1.10")
+	resAddr  = ipv4.MustParseAddr("66.10.20.30")
+)
+
+const testSLD = "ucfsealresearch.net"
+
+// buildHierarchy wires root → .net TLD → auth on a fresh simulation.
+func buildHierarchy(t *testing.T, tap Tap) (*netsim.Sim, *AuthServer) {
+	t.Helper()
+	sim := netsim.New(netsim.Config{Seed: 1, Latency: netsim.ConstantLatency(10 * time.Millisecond)})
+	NewReferralServer(sim, rootAddr, []Referral{
+		{Zone: "net", NSName: "a.gtld-servers.net", Addr: tldAddr},
+	})
+	NewReferralServer(sim, tldAddr, []Referral{
+		{Zone: testSLD, NSName: "ns1." + testSLD, Addr: authAddr},
+	})
+	auth := NewAuthServer(sim, AuthConfig{
+		Addr: authAddr, SLD: testSLD, ClusterSize: 100,
+		ReloadTime: time.Minute, Tap: tap,
+	})
+	return sim, auth
+}
+
+func TestProbeNameRoundTrip(t *testing.T) {
+	name := FormatProbeName(3, 4999999, testSLD)
+	if name != "or003.4999999.ucfsealresearch.net" {
+		t.Fatalf("format = %q", name)
+	}
+	pn, err := ParseProbeName(name, testSLD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.Cluster != 3 || pn.Index != 4999999 {
+		t.Errorf("parsed %+v", pn)
+	}
+}
+
+func TestProbeNamePropertyRoundTrip(t *testing.T) {
+	f := func(c uint8, idx uint32) bool {
+		cluster := int(c) % 1000
+		index := int(idx) % 10000000
+		pn, err := ParseProbeName(FormatProbeName(cluster, index, testSLD), testSLD)
+		return err == nil && pn.Cluster == cluster && pn.Index == index
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeNameRejects(t *testing.T) {
+	bad := []string{
+		"example.com",
+		"or0.0000001." + testSLD,
+		"orXYZ.0000001." + testSLD,
+		"or001.123." + testSLD,
+		"or001.abcdefg." + testSLD,
+		"or001." + testSLD,
+		testSLD,
+	}
+	for _, name := range bad {
+		if _, err := ParseProbeName(name, testSLD); err == nil {
+			t.Errorf("%q accepted", name)
+		}
+	}
+}
+
+func TestTruthAddrProperties(t *testing.T) {
+	reserved := ipv4.NewReservedBlocklist()
+	seen := map[ipv4.Addr]int{}
+	for i := 0; i < 10000; i++ {
+		a := TruthAddr(FormatProbeName(0, i, testSLD))
+		if reserved.Contains(a) {
+			t.Fatalf("truth address %v reserved", a)
+		}
+		seen[a]++
+	}
+	if len(seen) < 9900 {
+		t.Errorf("only %d distinct truth addresses of 10000", len(seen))
+	}
+	// Deterministic.
+	if TruthAddr("x.y") != TruthAddr("x.y") {
+		t.Error("TruthAddr nondeterministic")
+	}
+}
+
+func TestFullResolutionChain(t *testing.T) {
+	// Fig. 1 end to end: a stub at resAddr resolves a probe name through
+	// root, TLD and authoritative servers.
+	sim, _ := buildHierarchy(t, nil)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		msg, err := dnswire.Unpack(dg.Payload)
+		if err != nil {
+			return
+		}
+		if msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+
+	qname := FormatProbeName(0, 42, testSLD)
+	var got Result
+	var calls int
+	rec.Resolve(qname, func(r Result) { got = r; calls++ })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("done called %d times", calls)
+	}
+	if !got.OK || got.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("result = %+v", got)
+	}
+	if want := TruthAddr(qname); got.Addr != want {
+		t.Errorf("addr = %v, want %v", got.Addr, want)
+	}
+	// Three legs: root, TLD, auth.
+	if rec.UpstreamQueries != 3 {
+		t.Errorf("upstream queries = %d, want 3", rec.UpstreamQueries)
+	}
+	if rec.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", rec.Outstanding())
+	}
+}
+
+func TestResolutionUsesReferralCache(t *testing.T) {
+	sim, _ := buildHierarchy(t, nil)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+
+	rec.Resolve(FormatProbeName(0, 1, testSLD), func(Result) {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	first := rec.UpstreamQueries
+	// Second lookup of a *different* name under the cached SLD goes
+	// straight to the authoritative server: one leg.
+	rec.Resolve(FormatProbeName(0, 2, testSLD), func(Result) {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.UpstreamQueries - first; got != 1 {
+		t.Errorf("warm-cache resolution used %d legs, want 1", got)
+	}
+	// Repeating the same name hits the answer cache: zero legs.
+	before := rec.UpstreamQueries
+	var cached Result
+	rec.Resolve(FormatProbeName(0, 2, testSLD), func(r Result) { cached = r })
+	if rec.UpstreamQueries != before || rec.CacheHits != 1 {
+		t.Errorf("answer cache missed (queries %d→%d, hits %d)", before, rec.UpstreamQueries, rec.CacheHits)
+	}
+	if !cached.OK {
+		t.Error("cached result not OK")
+	}
+}
+
+func TestInactiveClusterNXDomain(t *testing.T) {
+	sim, auth := buildHierarchy(t, nil)
+	if auth.ActiveCluster() != 0 {
+		t.Fatalf("active cluster = %d", auth.ActiveCluster())
+	}
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	var got Result
+	rec.Resolve(FormatProbeName(7, 1, testSLD), func(r Result) { got = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got.OK || got.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("result = %+v, want NXDomain", got)
+	}
+	// Out-of-range index within the active cluster is also NXDomain.
+	rec.Resolve(FormatProbeName(0, 100, testSLD), func(r Result) { got = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got.OK || got.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("out-of-range result = %+v, want NXDomain", got)
+	}
+}
+
+func TestClusterReloadSilence(t *testing.T) {
+	sim, auth := buildHierarchy(t, nil)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	rec.Timeout = 500 * time.Millisecond
+	rec.Retries = 1
+
+	// Warm the referral cache first.
+	rec.Resolve(FormatProbeName(0, 1, testSLD), func(Result) {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Switch clusters: server silent for one minute of virtual time.
+	auth.SetCluster(1)
+	var during Result
+	rec.Resolve(FormatProbeName(1, 5, testSLD), func(r Result) { during = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if during.OK {
+		t.Error("resolution succeeded during reload silence")
+	}
+	if during.Rcode != dnswire.RcodeServFail {
+		t.Errorf("rcode during reload = %v, want ServFail after retries", during.Rcode)
+	}
+
+	// Let the reload minute elapse in virtual time, then the new cluster
+	// serves.
+	node.After(2*time.Minute, func() {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var after Result
+	rec.Resolve(FormatProbeName(1, 5, testSLD), func(r Result) { after = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !after.OK {
+		t.Errorf("post-reload result = %+v", after)
+	}
+	if auth.Reloads() != 1 {
+		t.Errorf("reloads = %d, want 1", auth.Reloads())
+	}
+}
+
+func TestAuthTapSeesQ2R1(t *testing.T) {
+	tap := &countingTap{}
+	sim, _ := buildHierarchy(t, tap)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	rec.Resolve(FormatProbeName(0, 9, testSLD), func(Result) {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tap.q2 != 1 || tap.r1 != 1 {
+		t.Errorf("tap saw Q2=%d R1=%d, want 1/1", tap.q2, tap.r1)
+	}
+}
+
+type countingTap struct{ q2, r1 int }
+
+func (t *countingTap) Packet(inbound bool, _ time.Duration, _ netsim.Datagram, _ *dnswire.Message) {
+	if inbound {
+		t.q2++
+	} else {
+		t.r1++
+	}
+}
+
+func TestDupQueriesHitAuthOnly(t *testing.T) {
+	tap := &countingTap{}
+	sim, _ := buildHierarchy(t, tap)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	rec.DupQueries = 3
+	var got Result
+	rec.Resolve(FormatProbeName(0, 11, testSLD), func(r Result) { got = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK {
+		t.Fatalf("result = %+v", got)
+	}
+	if tap.q2 != 3 {
+		t.Errorf("auth saw %d queries, want 3 duplicates", tap.q2)
+	}
+	// Total legs: root + TLD + 3×auth.
+	if rec.UpstreamQueries != 5 {
+		t.Errorf("upstream queries = %d, want 5", rec.UpstreamQueries)
+	}
+}
+
+func TestRefusedOutsideZone(t *testing.T) {
+	sim, _ := buildHierarchy(t, nil)
+	var got *dnswire.Message
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		got, _ = dnswire.Unpack(dg.Payload)
+	}))
+	q := dnswire.NewQuery(5, "www.example.com", dnswire.TypeA)
+	node.Send(authAddr, 4000, DNSPort, q.MustPack())
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Header.Rcode != dnswire.RcodeRefused {
+		t.Errorf("response = %v, want Refused", got)
+	}
+	// Root refuses queries outside its delegations too.
+	got = nil
+	q2 := dnswire.NewQuery(6, "www.example.org", dnswire.TypeA)
+	node.Send(rootAddr, 4000, DNSPort, q2.MustPack())
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Header.Rcode != dnswire.RcodeRefused {
+		t.Errorf("root response = %v, want Refused", got)
+	}
+}
+
+func TestAuthAnswersANYAndAA(t *testing.T) {
+	sim, _ := buildHierarchy(t, nil)
+	var got *dnswire.Message
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		got, _ = dnswire.Unpack(dg.Payload)
+	}))
+	qname := FormatProbeName(0, 1, testSLD)
+	q := dnswire.NewQuery(5, qname, dnswire.TypeANY)
+	node.Send(authAddr, 4000, DNSPort, q.MustPack())
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("no response")
+	}
+	if !got.Header.AA {
+		t.Error("authoritative answer lacks AA")
+	}
+	if a, ok := got.FirstA(); !ok || ipv4.Addr(a) != TruthAddr(qname) {
+		t.Errorf("ANY answer = %#x, %v", a, ok)
+	}
+}
+
+func TestResolutionTimeoutGivesServFail(t *testing.T) {
+	// No hierarchy at all: the root address is unrouted.
+	sim := netsim.New(netsim.Config{Seed: 2, Latency: netsim.ConstantLatency(time.Millisecond)})
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	rec.Timeout = 100 * time.Millisecond
+	rec.Retries = 2
+	var got Result
+	rec.Resolve("a.b.net", func(r Result) { got = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got.OK || got.Rcode != dnswire.RcodeServFail {
+		t.Errorf("result = %+v, want ServFail", got)
+	}
+	if rec.UpstreamQueries != 3 { // initial + 2 retries
+		t.Errorf("upstream queries = %d, want 3", rec.UpstreamQueries)
+	}
+	if rec.Failures != 1 {
+		t.Errorf("failures = %d", rec.Failures)
+	}
+}
+
+// truncatingServer answers over UDP with TC set and serves the real answer
+// over TCP — the classic RFC 7766 fallback scenario.
+type truncatingServer struct {
+	udpQueries, tcpQueries int
+}
+
+func newTruncatingServer(sim *netsim.Sim, addr ipv4.Addr) *truncatingServer {
+	ts := &truncatingServer{}
+	sim.Register(addr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		q, err := dnswire.Unpack(dg.Payload)
+		if err != nil || q.Header.QR {
+			return
+		}
+		ts.udpQueries++
+		resp := dnswire.NewResponse(q)
+		resp.Header.TC = true
+		n.Send(dg.Src, dg.DstPort, dg.SrcPort, resp.MustPack())
+	}))
+	sim.Listen(addr, DNSPort, func(c *netsim.Conn) {
+		parser := &dnswire.StreamParser{}
+		c.OnData(func(b []byte) {
+			msgs, err := parser.Feed(b)
+			if err != nil {
+				return
+			}
+			for _, q := range msgs {
+				ts.tcpQueries++
+				resp := dnswire.NewResponse(q)
+				resp.AnswerA(0x0A141E28, 60)
+				wire, err := resp.PackTCP()
+				if err != nil {
+					continue
+				}
+				c.Send(wire)
+			}
+		})
+	})
+	return ts
+}
+
+func TestTCPFallbackOnTruncation(t *testing.T) {
+	sim := netsim.New(netsim.Config{Seed: 5, Latency: netsim.ConstantLatency(5 * time.Millisecond)})
+	server := ipv4.MustParseAddr("45.76.2.2")
+	ts := newTruncatingServer(sim, server)
+
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, server) // "root" is the truncating server itself
+	var got Result
+	rec.Resolve("big.example.net", func(r Result) { got = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || got.Addr != 0x0A141E28 {
+		t.Fatalf("result = %+v", got)
+	}
+	if ts.udpQueries != 1 || ts.tcpQueries != 1 {
+		t.Errorf("server saw udp=%d tcp=%d, want 1/1", ts.udpQueries, ts.tcpQueries)
+	}
+	if rec.TCPFallbacks != 1 {
+		t.Errorf("TCPFallbacks = %d", rec.TCPFallbacks)
+	}
+}
+
+func TestTCPFallbackServerGone(t *testing.T) {
+	// TC over UDP but nobody listening on TCP: the engine reports ServFail
+	// after the refused dial.
+	sim := netsim.New(netsim.Config{Seed: 6, Latency: netsim.ConstantLatency(5 * time.Millisecond)})
+	server := ipv4.MustParseAddr("45.76.2.3")
+	sim.Register(server, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		q, err := dnswire.Unpack(dg.Payload)
+		if err != nil || q.Header.QR {
+			return
+		}
+		resp := dnswire.NewResponse(q)
+		resp.Header.TC = true
+		n.Send(dg.Src, dg.DstPort, dg.SrcPort, resp.MustPack())
+	}))
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, server)
+	rec.Timeout = 200 * time.Millisecond
+	var got Result
+	var calls int
+	rec.Resolve("x.example.net", func(r Result) { got = r; calls++ })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("done called %d times", calls)
+	}
+	if got.OK || got.Rcode != dnswire.RcodeServFail {
+		t.Errorf("result = %+v", got)
+	}
+}
+
+func TestAuthServesTCP(t *testing.T) {
+	sim, _ := buildHierarchy(t, nil)
+	client := sim.Register(resAddr, netsim.HostFunc(func(*netsim.Node, netsim.Datagram) {}))
+	qname := FormatProbeName(0, 33, testSLD)
+	var got *dnswire.Message
+	client.Dial(authAddr, DNSPort, func(c *netsim.Conn) {
+		if c == nil {
+			t.Error("auth refused TCP")
+			return
+		}
+		parser := &dnswire.StreamParser{}
+		c.OnData(func(b []byte) {
+			msgs, err := parser.Feed(b)
+			if err != nil {
+				t.Errorf("parse: %v", err)
+				return
+			}
+			if len(msgs) > 0 {
+				got = msgs[0]
+				c.Close()
+			}
+		})
+		q := dnswire.NewQuery(3, qname, dnswire.TypeA)
+		wire, err := q.PackTCP()
+		if err != nil {
+			t.Errorf("pack: %v", err)
+			return
+		}
+		c.Send(wire)
+	})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("no TCP answer")
+	}
+	if a, ok := got.FirstA(); !ok || ipv4.Addr(a) != TruthAddr(qname) {
+		t.Errorf("TCP answer = %#x", a)
+	}
+	if !got.Header.AA {
+		t.Error("TCP answer lacks AA")
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	// RFC 2308: an authoritative NXDomain is cached; repeating the query
+	// consumes no upstream legs.
+	sim, _ := buildHierarchy(t, nil)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	qname := FormatProbeName(9, 1, testSLD) // inactive cluster → NXDomain
+
+	var first Result
+	rec.Resolve(qname, func(r Result) { first = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if first.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("first = %+v", first)
+	}
+	before := rec.UpstreamQueries
+	var second Result
+	rec.Resolve(qname, func(r Result) { second = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if second.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("second = %+v", second)
+	}
+	if rec.UpstreamQueries != before {
+		t.Errorf("negative cache missed: %d extra legs", rec.UpstreamQueries-before)
+	}
+	if rec.CacheHits != 1 {
+		t.Errorf("cache hits = %d", rec.CacheHits)
+	}
+
+	// After the negative TTL expires the engine re-queries.
+	node.After(rec.NegativeTTL+time.Second, func() {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	rec.Resolve(qname, func(Result) {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if rec.UpstreamQueries == before {
+		t.Error("expired negative entry still served")
+	}
+}
+
+func TestServFailNotNegativelyCached(t *testing.T) {
+	// Transient failures (ServFail from a reloading server) must not stick
+	// in the negative cache.
+	sim, auth := buildHierarchy(t, nil)
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	rec.Timeout = 300 * time.Millisecond
+	rec.Retries = 1
+
+	// Warm the referral cache, then silence the server via a reload.
+	rec.Resolve(FormatProbeName(0, 1, testSLD), func(Result) {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	auth.SetCluster(1)
+	qname := FormatProbeName(1, 2, testSLD)
+	var during Result
+	rec.Resolve(qname, func(r Result) { during = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if during.Rcode != dnswire.RcodeServFail {
+		t.Fatalf("during reload = %+v", during)
+	}
+	// After the reload the same name must succeed (not be stuck negative).
+	node.After(2*time.Minute, func() {})
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var after Result
+	rec.Resolve(qname, func(r Result) { after = r })
+	if err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !after.OK {
+		t.Errorf("after reload = %+v (ServFail wrongly cached?)", after)
+	}
+}
+
+func TestResolutionSurvivesPacketLoss(t *testing.T) {
+	// 20% packet loss: the engine's retransmissions must still complete
+	// most resolutions (each leg retries twice).
+	sim := netsim.New(netsim.Config{
+		Seed: 11, Loss: 0.2,
+		Latency: netsim.ConstantLatency(10 * time.Millisecond),
+	})
+	NewReferralServer(sim, rootAddr, []Referral{
+		{Zone: "net", NSName: "a.gtld-servers.net", Addr: tldAddr},
+	})
+	NewReferralServer(sim, tldAddr, []Referral{
+		{Zone: testSLD, NSName: "ns1." + testSLD, Addr: authAddr},
+	})
+	NewAuthServer(sim, AuthConfig{Addr: authAddr, SLD: testSLD, ClusterSize: 1000})
+
+	var rec *Recursive
+	node := sim.Register(resAddr, netsim.HostFunc(func(n *netsim.Node, dg netsim.Datagram) {
+		if msg, err := dnswire.Unpack(dg.Payload); err == nil && msg.Header.QR {
+			rec.HandleResponse(msg)
+		}
+	}))
+	rec = NewRecursive(node, rootAddr)
+	rec.Timeout = 200 * time.Millisecond
+	rec.Retries = 4
+
+	const n = 200
+	var ok, fail int
+	for i := 0; i < n; i++ {
+		rec.Resolve(FormatProbeName(0, i, testSLD), func(r Result) {
+			if r.OK {
+				ok++
+			} else {
+				fail++
+			}
+		})
+		if err := sim.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok+fail != n {
+		t.Fatalf("callbacks: %d+%d != %d", ok, fail, n)
+	}
+	// Per-leg success with 4 retries at 20% loss: (1-(0.2+0.8*0.2)^5)... in
+	// practice well above 95%.
+	if ok < n*90/100 {
+		t.Errorf("only %d/%d resolutions succeeded under 20%% loss", ok, n)
+	}
+	if rec.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", rec.Outstanding())
+	}
+}

@@ -1,0 +1,355 @@
+package dnssrv
+
+import (
+	"time"
+
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+)
+
+// Result is the outcome of a recursive resolution.
+type Result struct {
+	Addr  ipv4.Addr
+	Rcode dnswire.Rcode
+	// OK is true when an address was obtained (Rcode NoError with answer).
+	OK bool
+}
+
+// Recursive is an iterative-resolution engine: given a query name it walks
+// root → TLD → authoritative exactly as Fig. 1 describes (steps 2-7),
+// caching zone referrals and final answers, retrying on timeout. Honest
+// open resolvers embed one of these; the measurement's Q2/R1 flows are the
+// engine's authoritative-server legs.
+type Recursive struct {
+	node     *netsim.Node
+	rootAddr ipv4.Addr
+
+	// Timeout and Retries govern each upstream leg.
+	Timeout time.Duration
+	Retries int
+	// DupQueries duplicates the authoritative leg (retransmission
+	// behaviour observed in the wild; the Q2 ≈ 2×R2 ratio of Table II is
+	// calibrated with it). 1 means a single query.
+	DupQueries int
+	// DNSSEC sets the DO bit on upstream queries, requesting signatures.
+	DNSSEC bool
+	// Validate, when non-nil, vets every answered response (a DNSSEC
+	// validator hook); returning false makes the engine report ServFail,
+	// as validating resolvers do on bogus signatures (RFC 4035 §5.5).
+	Validate func(qname string, msg *dnswire.Message) bool
+
+	// referral cache: zone suffix -> server glue address.
+	referrals map[string]cacheEntry
+	// answer cache: qname -> address.
+	answers map[string]answerEntry
+	// negative cache (RFC 2308): qname -> cached error rcode.
+	negative map[string]negativeEntry
+	// NegativeTTL bounds negative-cache lifetimes (RFC 2308 §5 caps at
+	// 3 hours; BIND defaults lower).
+	NegativeTTL time.Duration
+
+	nextID  uint16
+	pending map[uint16]*inflight
+
+	// Stats.
+	Resolutions     uint64 // Resolve calls
+	UpstreamQueries uint64 // upstream query packets (all legs, incl. retries)
+	CacheHits       uint64 // Resolve calls served from the answer cache
+	Failures        uint64
+	TCPFallbacks    uint64 // truncated UDP responses retried over TCP
+}
+
+type cacheEntry struct {
+	addr    ipv4.Addr
+	expires time.Duration
+}
+
+type answerEntry struct {
+	addr    ipv4.Addr
+	expires time.Duration
+}
+
+type negativeEntry struct {
+	rcode   dnswire.Rcode
+	expires time.Duration
+}
+
+type inflight struct {
+	qname    string
+	server   ipv4.Addr
+	attempts int
+	timer    *netsim.Timer
+	done     func(Result)
+	depth    int
+	finished bool
+}
+
+// finish delivers the result exactly once.
+func (r *Recursive) finish(fl *inflight, res Result) {
+	if fl.finished {
+		return
+	}
+	fl.finished = true
+	fl.done(res)
+}
+
+// NewRecursive creates an engine bound to node, priming the hierarchy at
+// rootAddr.
+func NewRecursive(node *netsim.Node, rootAddr ipv4.Addr) *Recursive {
+	return &Recursive{
+		node:        node,
+		rootAddr:    rootAddr,
+		Timeout:     2 * time.Second,
+		Retries:     2,
+		DupQueries:  1,
+		referrals:   make(map[string]cacheEntry),
+		answers:     make(map[string]answerEntry),
+		negative:    make(map[string]negativeEntry),
+		NegativeTTL: 15 * time.Minute,
+		pending:     make(map[uint16]*inflight),
+		nextID:      1,
+	}
+}
+
+// Resolve starts a recursive resolution of qname (type A) and calls done
+// exactly once with the outcome.
+func (r *Recursive) Resolve(qname string, done func(Result)) {
+	r.Resolutions++
+	qname = dnswire.CanonicalName(qname)
+	if ans, ok := r.answers[qname]; ok && r.node.Now() < ans.expires {
+		r.CacheHits++
+		done(Result{Addr: ans.addr, Rcode: dnswire.RcodeNoError, OK: true})
+		return
+	}
+	if neg, ok := r.negative[qname]; ok && r.node.Now() < neg.expires {
+		r.CacheHits++
+		done(Result{Rcode: neg.rcode})
+		return
+	}
+	server := r.bestServer(qname)
+	r.query(qname, server, done, 0)
+}
+
+// bestServer returns the deepest cached referral covering qname, falling
+// back to the root.
+func (r *Recursive) bestServer(qname string) ipv4.Addr {
+	best := r.rootAddr
+	bestLen := -1
+	for zone, e := range r.referrals {
+		if r.node.Now() >= e.expires {
+			continue
+		}
+		if (qname == zone || hasSuffixLabel(qname, zone)) && len(zone) > bestLen {
+			best, bestLen = e.addr, len(zone)
+		}
+	}
+	return best
+}
+
+func hasSuffixLabel(name, zone string) bool {
+	return len(name) > len(zone)+1 &&
+		name[len(name)-len(zone):] == zone &&
+		name[len(name)-len(zone)-1] == '.'
+}
+
+func (r *Recursive) query(qname string, server ipv4.Addr, done func(Result), depth int) {
+	if depth > 8 {
+		r.Failures++
+		done(Result{Rcode: dnswire.RcodeServFail})
+		return
+	}
+	id := r.nextID
+	r.nextID++
+	if r.nextID == 0 {
+		r.nextID = 1
+	}
+	fl := &inflight{qname: qname, server: server, done: done, depth: depth}
+	r.pending[id] = fl
+
+	r.sendQuery(id, qname, server)
+	// Upstream duplicates count against the authoritative leg only (depth
+	// 2 of the cold root→TLD→auth walk; every probe name is unique, so the
+	// walk is always cold in a campaign).
+	if r.DupQueries > 1 && depth >= 2 {
+		for i := 1; i < r.DupQueries; i++ {
+			r.sendQuery(id, qname, server)
+		}
+	}
+	fl.timer = r.node.After(r.Timeout, func() { r.onTimeout(id) })
+}
+
+func (r *Recursive) sendQuery(id uint16, qname string, server ipv4.Addr) {
+	q := dnswire.NewQuery(id, qname, dnswire.TypeA)
+	q.Header.RD = false // iterative legs
+	if r.DNSSEC {
+		q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.DefaultEDNSSize, DO: true})
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return
+	}
+	r.UpstreamQueries++
+	r.node.Send(server, DNSPort, DNSPort, wire)
+}
+
+func (r *Recursive) onTimeout(id uint16) {
+	fl, ok := r.pending[id]
+	if !ok {
+		return
+	}
+	fl.attempts++
+	if fl.attempts > r.Retries {
+		delete(r.pending, id)
+		r.Failures++
+		r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+		return
+	}
+	r.sendQuery(id, fl.qname, fl.server)
+	fl.timer = r.node.After(r.Timeout, func() { r.onTimeout(id) })
+}
+
+// HandleResponse feeds an upstream response into the engine. It returns
+// true if the packet matched an in-flight query (callers route non-matching
+// packets elsewhere).
+func (r *Recursive) HandleResponse(msg *dnswire.Message) bool {
+	fl, ok := r.pending[msg.Header.ID]
+	if !ok {
+		return false
+	}
+	// Match the question too (anti-spoofing hygiene; also rejects stale
+	// duplicate answers racing a reused ID).
+	if q, ok := msg.Question1(); !ok || q.Name != fl.qname {
+		return false
+	}
+	delete(r.pending, msg.Header.ID)
+	fl.timer.Stop()
+
+	if msg.Header.TC {
+		// Truncated over UDP: retry the same leg over TCP (RFC 7766).
+		r.retryTCP(fl, msg.Header.ID)
+		return true
+	}
+	r.process(fl, msg)
+	return true
+}
+
+// process consumes a complete (non-truncated) upstream response.
+func (r *Recursive) process(fl *inflight, msg *dnswire.Message) {
+	if msg.Header.Rcode != dnswire.RcodeNoError {
+		// RFC 2308: authoritative NXDomain is cacheable; other errors are
+		// transient and are not cached.
+		if msg.Header.Rcode == dnswire.RcodeNXDomain && msg.Header.AA {
+			r.negative[fl.qname] = negativeEntry{
+				rcode:   msg.Header.Rcode,
+				expires: r.node.Now() + r.NegativeTTL,
+			}
+		}
+		r.finish(fl, Result{Rcode: msg.Header.Rcode})
+		return
+	}
+	if a, ok := msg.FirstA(); ok {
+		if r.Validate != nil && !r.Validate(fl.qname, msg) {
+			// Bogus data: a validating resolver answers ServFail and must
+			// not cache the rejected records (RFC 4035 §5.5).
+			r.Failures++
+			r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+			return
+		}
+		var ttl time.Duration
+		for _, rr := range msg.Answers {
+			if rr.Type == dnswire.TypeA && !rr.Malformed {
+				ttl = time.Duration(rr.TTL) * time.Second
+				break
+			}
+		}
+		r.answers[fl.qname] = answerEntry{addr: ipv4.Addr(a), expires: r.node.Now() + ttl}
+		r.finish(fl, Result{Addr: ipv4.Addr(a), Rcode: dnswire.RcodeNoError, OK: true})
+		return
+	}
+	// A referral: cache it and descend.
+	var zone string
+	var next ipv4.Addr
+	for _, ns := range msg.Authority {
+		if ns.Type != dnswire.TypeNS {
+			continue
+		}
+		for _, glue := range msg.Additional {
+			if glue.Type == dnswire.TypeA && glue.Name == ns.Target && !glue.Malformed {
+				zone, next = ns.Name, ipv4.Addr(glue.A)
+				break
+			}
+		}
+		if next != 0 {
+			break
+		}
+	}
+	if next == 0 {
+		// NoError, no answer, no usable referral: dead end.
+		r.Failures++
+		r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+		return
+	}
+	ttl := 172800 * time.Second
+	r.referrals[zone] = cacheEntry{addr: next, expires: r.node.Now() + ttl}
+	r.query(fl.qname, next, fl.done, fl.depth+1)
+}
+
+// retryTCP re-issues the truncated leg over a stream connection.
+func (r *Recursive) retryTCP(fl *inflight, id uint16) {
+	r.TCPFallbacks++
+	deadline := r.node.After(r.Timeout, func() {
+		r.Failures++
+		r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+	})
+	r.node.Dial(fl.server, DNSPort, func(c *netsim.Conn) {
+		if fl.finished {
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		if c == nil {
+			deadline.Stop()
+			r.Failures++
+			r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+			return
+		}
+		parser := &dnswire.StreamParser{}
+		c.OnData(func(b []byte) {
+			msgs, err := parser.Feed(b)
+			if err != nil {
+				deadline.Stop()
+				c.Close()
+				r.Failures++
+				r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+				return
+			}
+			for _, m := range msgs {
+				q, ok := m.Question1()
+				if !ok || q.Name != fl.qname || !m.Header.QR {
+					continue
+				}
+				deadline.Stop()
+				c.Close()
+				r.process(fl, m)
+				return
+			}
+		})
+		q := dnswire.NewQuery(id, fl.qname, dnswire.TypeA)
+		q.Header.RD = false
+		wire, err := q.PackTCP()
+		if err != nil {
+			deadline.Stop()
+			c.Close()
+			r.Failures++
+			r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+			return
+		}
+		r.UpstreamQueries++
+		c.Send(wire)
+	})
+}
+
+// Outstanding returns the number of in-flight upstream queries.
+func (r *Recursive) Outstanding() int { return len(r.pending) }

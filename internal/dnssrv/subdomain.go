@@ -1,0 +1,84 @@
+// Package dnssrv implements the DNS server substrate of the measurement:
+// the controlled authoritative name server with its two-tier subdomain
+// clusters (paper Fig. 3), the root and TLD referral servers that stand in
+// for the real hierarchy (paper Fig. 1), and a recursive-resolution engine
+// with caching, timeouts and retries — the machinery honest open resolvers
+// run on top of the network simulator.
+package dnssrv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"openresolver/internal/ipv4"
+)
+
+// ProbeName is a parsed measurement subdomain of the two-tier structure of
+// Fig. 3: orCCC.NNNNNNN.<sld>, where CCC is the cluster number and NNNNNNN
+// the subdomain's index within the cluster.
+type ProbeName struct {
+	Cluster int
+	Index   int
+}
+
+// FormatProbeName renders the probe subdomain for (cluster, index) under
+// sld, zero-padded exactly as in the paper: or000.0000001.ucfsealresearch.net.
+func FormatProbeName(cluster, index int, sld string) string {
+	return fmt.Sprintf("or%03d.%07d.%s", cluster, index, sld)
+}
+
+// ParseProbeName inverts FormatProbeName. The name must be under sld.
+func ParseProbeName(name, sld string) (ProbeName, error) {
+	suffix := "." + sld
+	if !strings.HasSuffix(name, suffix) {
+		return ProbeName{}, fmt.Errorf("dnssrv: %q not under %q", name, sld)
+	}
+	rest := strings.TrimSuffix(name, suffix)
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return ProbeName{}, fmt.Errorf("dnssrv: %q lacks two-tier labels", name)
+	}
+	first, second := rest[:dot], rest[dot+1:]
+	if !strings.HasPrefix(first, "or") || len(first) != 5 {
+		return ProbeName{}, fmt.Errorf("dnssrv: bad cluster label %q", first)
+	}
+	cluster, err := strconv.Atoi(first[2:])
+	if err != nil {
+		return ProbeName{}, fmt.Errorf("dnssrv: bad cluster label %q: %v", first, err)
+	}
+	if len(second) != 7 {
+		return ProbeName{}, fmt.Errorf("dnssrv: bad index label %q", second)
+	}
+	index, err := strconv.Atoi(second)
+	if err != nil {
+		return ProbeName{}, fmt.Errorf("dnssrv: bad index label %q: %v", second, err)
+	}
+	return ProbeName{Cluster: cluster, Index: index}, nil
+}
+
+// TruthAddr is the ground-truth A record for a probe subdomain: the zone
+// generator derives each subdomain's address deterministically from its
+// name, so the authoritative server, the prober and the analysis pipeline
+// agree on correctness without sharing 4-billion-entry state.
+//
+// Addresses are placed in 96.0.0.0/6 (public, far from every Table I block
+// and from the geo registry's synthetic seats).
+func TruthAddr(qname string) ipv4.Addr {
+	h := fnv64(qname)
+	return ipv4.Addr(0x60000000 | uint32(h)&0x03FFFFFF)
+}
+
+// fnv64 is the FNV-1a hash (inlined to keep the package dependency-free).
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,234 @@
+package dnssrv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+)
+
+// Zone files: §III-B's clusters are literal BIND-style zone files ("Five
+// million subdomains ... are generated as one cluster (a zone file)").
+// This file implements the RFC 1035 §5 master-file subset those clusters
+// need — $ORIGIN/$TTL directives, SOA (with multi-line parentheses), NS and
+// A records, comments — so clusters can be generated, persisted, inspected
+// and loaded exactly like the paper's BIND 9 deployment did.
+
+// Zone is a parsed zone: the origin, the SOA serial, and the A records.
+type Zone struct {
+	Origin string
+	TTL    uint32
+	Serial uint32
+	NS     []string
+	// A maps fully qualified lowercase names to addresses.
+	A map[string]ipv4.Addr
+}
+
+// ErrNoSOA reports a zone file without an SOA record.
+var ErrNoSOA = errors.New("dnssrv: zone file has no SOA record")
+
+// WriteClusterZone writes the cluster's zone file: the SLD apex (SOA + NS)
+// and one A record per subdomain, with the ground-truth addresses. The
+// writer is streamed, so full-size 5M-record clusters need constant memory.
+func WriteClusterZone(w io.Writer, sld string, cluster, size int) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	origin := dnswire.CanonicalName(sld)
+	serial := 2018042600 + cluster
+	fmt.Fprintf(bw, "$ORIGIN %s.\n$TTL 60\n", origin)
+	fmt.Fprintf(bw, "@ IN SOA ns1.%s. hostmaster.%s. (\n", origin, origin)
+	fmt.Fprintf(bw, "\t%d ; serial = cluster %d\n", serial, cluster)
+	fmt.Fprintf(bw, "\t3600 ; refresh\n\t600 ; retry\n\t86400 ; expire\n\t60 ) ; minimum\n")
+	fmt.Fprintf(bw, "@ IN NS ns1.%s.\n", origin)
+	for i := 0; i < size; i++ {
+		rel := fmt.Sprintf("or%03d.%07d", cluster, i)
+		addr := TruthAddr(rel + "." + origin)
+		fmt.Fprintf(bw, "%s IN A %s\n", rel, addr)
+	}
+	return bw.Flush()
+}
+
+// ParseZoneFile reads a master-format zone file (the subset WriteClusterZone
+// emits plus common variations: comments, blank lines, absolute names).
+func ParseZoneFile(r io.Reader) (*Zone, error) {
+	z := &Zone{TTL: 3600, A: make(map[string]ipv4.Addr)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	var soaSeen bool
+	var parenDepth int
+	var soaFields []string
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if parenDepth > 0 {
+			// Continuation of a parenthesized SOA.
+			soaFields, parenDepth = consumeSOAFields(fields, soaFields, parenDepth)
+			if parenDepth == 0 {
+				if err := z.applySOA(soaFields); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				soaSeen = true
+			}
+			continue
+		}
+		switch fields[0] {
+		case "$ORIGIN":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed $ORIGIN", lineNo)
+			}
+			z.Origin = dnswire.CanonicalName(fields[1])
+			continue
+		case "$TTL":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed $TTL", lineNo)
+			}
+			ttl, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad TTL: %v", lineNo, err)
+			}
+			z.TTL = uint32(ttl)
+			continue
+		}
+
+		name, rest, err := splitRecord(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fqdn := z.qualify(name)
+		switch rest[0] {
+		case "SOA":
+			soaFields, parenDepth = consumeSOAFields(rest[1:], soaFields, parenDepth)
+			if parenDepth == 0 {
+				if err := z.applySOA(soaFields); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				soaSeen = true
+			}
+		case "NS":
+			if len(rest) != 2 {
+				return nil, fmt.Errorf("line %d: malformed NS", lineNo)
+			}
+			z.NS = append(z.NS, dnswire.CanonicalName(rest[1]))
+		case "A":
+			if len(rest) != 2 {
+				return nil, fmt.Errorf("line %d: malformed A", lineNo)
+			}
+			addr, err := ipv4.ParseAddr(rest[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			z.A[fqdn] = addr
+		default:
+			return nil, fmt.Errorf("line %d: unsupported record type %q", lineNo, rest[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if parenDepth != 0 {
+		return nil, errors.New("dnssrv: unbalanced parentheses in zone file")
+	}
+	if !soaSeen {
+		return nil, ErrNoSOA
+	}
+	return z, nil
+}
+
+// consumeSOAFields accumulates SOA RDATA tokens, tracking parenthesis
+// depth; parens may be standalone tokens or attached to values ("86400)").
+func consumeSOAFields(tokens, acc []string, depth int) ([]string, int) {
+	for _, tok := range tokens {
+		for strings.HasPrefix(tok, "(") {
+			depth++
+			tok = tok[1:]
+		}
+		trailing := 0
+		for strings.HasSuffix(tok, ")") {
+			trailing++
+			tok = tok[:len(tok)-1]
+		}
+		if tok != "" {
+			acc = append(acc, tok)
+		}
+		depth -= trailing
+	}
+	return acc, depth
+}
+
+// applySOA consumes the SOA RDATA fields (mname rname serial refresh retry
+// expire minimum).
+func (z *Zone) applySOA(fields []string) error {
+	if len(fields) < 3 {
+		return errors.New("dnssrv: SOA record too short")
+	}
+	serial, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return fmt.Errorf("dnssrv: bad SOA serial %q", fields[2])
+	}
+	z.Serial = uint32(serial)
+	return nil
+}
+
+// splitRecord separates the owner name from the type+RDATA, handling the
+// optional class and TTL columns.
+func splitRecord(fields []string) (name string, rest []string, err error) {
+	if len(fields) < 3 {
+		return "", nil, errors.New("dnssrv: record too short")
+	}
+	name = fields[0]
+	rest = fields[1:]
+	// Skip an optional TTL column.
+	if _, numErr := strconv.Atoi(rest[0]); numErr == nil {
+		rest = rest[1:]
+	}
+	// Skip the class column.
+	if len(rest) > 0 && (rest[0] == "IN" || rest[0] == "CH") {
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return "", nil, errors.New("dnssrv: record missing type")
+	}
+	return name, rest, nil
+}
+
+// qualify resolves a possibly relative owner name against the origin.
+func (z *Zone) qualify(name string) string {
+	if name == "@" {
+		return z.Origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnswire.CanonicalName(name)
+	}
+	if z.Origin == "" {
+		return dnswire.CanonicalName(name)
+	}
+	return dnswire.CanonicalName(name) + "." + z.Origin
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// VerifyClusterZone checks that a parsed zone matches the ground truth of
+// its cluster: every record must equal TruthAddr of its name. It returns
+// the number of verified records.
+func VerifyClusterZone(z *Zone) (int, error) {
+	for name, addr := range z.A {
+		if want := TruthAddr(name); addr != want {
+			return 0, fmt.Errorf("dnssrv: record %s is %v, ground truth %v", name, addr, want)
+		}
+	}
+	return len(z.A), nil
+}

@@ -1,0 +1,299 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by message encoding and decoding.
+var (
+	ErrShortHeader    = errors.New("dnswire: message shorter than header")
+	ErrTruncatedRR    = errors.New("dnswire: truncated resource record")
+	ErrRDataTooLong   = errors.New("dnswire: RDATA exceeds 65535 octets")
+	ErrTooManyRecords = errors.New("dnswire: section count exceeds message size")
+)
+
+// header flag bit layout within the 16-bit flags word.
+const (
+	flagQR     = 1 << 15
+	flagAA     = 1 << 10
+	flagTC     = 1 << 9
+	flagRD     = 1 << 8
+	flagRA     = 1 << 7
+	opcodeMask = 0xF
+	zMask      = 0x7
+	rcodeMask  = 0xF
+)
+
+func (h Header) flags() uint16 {
+	var f uint16
+	if h.QR {
+		f |= flagQR
+	}
+	f |= uint16(h.Opcode&opcodeMask) << 11
+	if h.AA {
+		f |= flagAA
+	}
+	if h.TC {
+		f |= flagTC
+	}
+	if h.RD {
+		f |= flagRD
+	}
+	if h.RA {
+		f |= flagRA
+	}
+	f |= uint16(h.Z&zMask) << 4
+	f |= uint16(h.Rcode & rcodeMask)
+	return f
+}
+
+func headerFromFlags(id, f uint16) Header {
+	return Header{
+		ID:     id,
+		QR:     f&flagQR != 0,
+		Opcode: Opcode(f >> 11 & opcodeMask),
+		AA:     f&flagAA != 0,
+		TC:     f&flagTC != 0,
+		RD:     f&flagRD != 0,
+		RA:     f&flagRA != 0,
+		Z:      uint8(f >> 4 & zMask),
+		Rcode:  Rcode(f & rcodeMask),
+	}
+}
+
+// Append encodes the message in wire format and appends it to dst,
+// returning the extended slice.
+func (m *Message) Append(dst []byte) ([]byte, error) {
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], m.Header.ID)
+	binary.BigEndian.PutUint16(hdr[2:], m.Header.flags())
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(hdr[10:], uint16(len(m.Additional)))
+	dst = append(dst, hdr[:]...)
+
+	var err error
+	for _, q := range m.Questions {
+		if dst, err = appendName(dst, q.Name); err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(q.Type))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if dst, err = appendRR(dst, &sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Pack encodes the message into a freshly allocated wire-format buffer.
+func (m *Message) Pack() ([]byte, error) {
+	return m.Append(make([]byte, 0, 128))
+}
+
+// MustPack is Pack for messages built from trusted constants; it panics on
+// encoding errors and is intended for tests and static fixtures only.
+func (m *Message) MustPack() []byte {
+	b, err := m.Pack()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func appendRR(dst []byte, rr *RR) ([]byte, error) {
+	var err error
+	if dst, err = appendName(dst, rr.Name); err != nil {
+		return nil, fmt.Errorf("rr %q: %w", rr.Name, err)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rr.Type))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rr.Class))
+	dst = binary.BigEndian.AppendUint32(dst, rr.TTL)
+
+	rdata := rr.Data
+	if rdata == nil {
+		// Synthesize RDATA from the decoded fields.
+		switch rr.Type {
+		case TypeA:
+			rdata = binary.BigEndian.AppendUint32(nil, rr.A)
+		case TypeNS, TypeCNAME, TypePTR:
+			if rdata, err = appendName(nil, rr.Target); err != nil {
+				return nil, fmt.Errorf("rr %q rdata: %w", rr.Name, err)
+			}
+		case TypeMX:
+			rdata = binary.BigEndian.AppendUint16(nil, rr.Pref)
+			if rdata, err = appendName(rdata, rr.Target); err != nil {
+				return nil, fmt.Errorf("rr %q rdata: %w", rr.Name, err)
+			}
+		case TypeTXT:
+			if len(rr.Target) > 255 {
+				return nil, fmt.Errorf("rr %q: %w", rr.Name, ErrRDataTooLong)
+			}
+			rdata = append([]byte{byte(len(rr.Target))}, rr.Target...)
+		default:
+			rdata = []byte{}
+		}
+	}
+	if len(rdata) > 0xFFFF {
+		return nil, fmt.Errorf("rr %q: %w", rr.Name, ErrRDataTooLong)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(rdata)))
+	return append(dst, rdata...), nil
+}
+
+// Unpack decodes a wire-format message. Decoding is deliberately tolerant of
+// the protocol deviations the measurement studies — empty question sections,
+// nonzero Z bits, unknown record types, malformed RDATA — but strict about
+// structural integrity (truncation, bad pointers), mirroring what a libpcap
+// parser would accept.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrShortHeader
+	}
+	id := binary.BigEndian.Uint16(msg[0:])
+	flags := binary.BigEndian.Uint16(msg[2:])
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+	// Each question needs ≥5 bytes, each RR ≥11; reject counts that cannot fit.
+	if qd*5+(an+ns+ar)*11 > len(msg)-12 {
+		return nil, ErrTooManyRecords
+	}
+
+	m := &Message{Header: headerFromFlags(id, flags)}
+	off := 12
+	var err error
+	if qd > 0 {
+		m.Questions = make([]Question, 0, qd)
+	}
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q.Name, off, err = readName(msg, off); err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return nil, fmt.Errorf("question %d: %w", i, ErrTruncatedRR)
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]RR
+	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		if sec.n == 0 {
+			continue
+		}
+		*sec.dst = make([]RR, 0, sec.n)
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			if rr, off, err = readRR(msg, off); err != nil {
+				return nil, fmt.Errorf("rr %d: %w", i, err)
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	if off != len(msg) {
+		return nil, ErrTrailingGarbage
+	}
+	return m, nil
+}
+
+func readRR(msg []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	if rr.Name, off, err = readName(msg, off); err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, ErrTruncatedRR
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return rr, 0, ErrTruncatedRR
+	}
+	rr.Data = append([]byte(nil), msg[off:off+rdlen]...)
+	rdStart := off
+	off += rdlen
+
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			rr.Malformed = true
+			break
+		}
+		rr.A = binary.BigEndian.Uint32(rr.Data)
+	case TypeNS, TypeCNAME, TypePTR:
+		target, end, err := readName(msg, rdStart)
+		if err != nil || end != rdStart+rdlen {
+			rr.Malformed = true
+			break
+		}
+		rr.Target = target
+	case TypeMX:
+		if rdlen < 3 {
+			rr.Malformed = true
+			break
+		}
+		rr.Pref = binary.BigEndian.Uint16(rr.Data)
+		target, end, err := readName(msg, rdStart+2)
+		if err != nil || end != rdStart+rdlen {
+			rr.Malformed = true
+			break
+		}
+		rr.Target = target
+	case TypeTXT:
+		if rdlen < 1 || int(rr.Data[0]) != rdlen-1 {
+			rr.Malformed = true
+			break
+		}
+		rr.Target = string(rr.Data[1:])
+	}
+	return rr, off, nil
+}
+
+// NewQuery builds a standard recursive query for (name, type), matching the
+// probe queries of the measurement: RD set, one question, class IN.
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: true},
+		Questions: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton for the given query: same ID and
+// question, QR set, RD copied. Flag fields beyond that are left for the
+// responder to fill in — which is exactly where the studied behaviours differ.
+func NewResponse(q *Message) *Message {
+	resp := &Message{
+		Header: Header{ID: q.Header.ID, QR: true, RD: q.Header.RD},
+	}
+	resp.Questions = append(resp.Questions, q.Questions...)
+	return resp
+}
+
+// AnswerA appends an A record answering the first question with addr.
+func (m *Message) AnswerA(addr uint32, ttl uint32) *Message {
+	name := ""
+	if q, ok := m.Question1(); ok {
+		name = q.Name
+	}
+	m.Answers = append(m.Answers, RR{
+		Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, A: addr,
+	})
+	return m
+}

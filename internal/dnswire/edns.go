@@ -1,0 +1,109 @@
+package dnswire
+
+// EDNS(0) support (RFC 6891), the paper's reference [17]: "Originally, DNS
+// had a packet size limited to 512 bytes. However, due to recent update
+// [EDNS(0)], it is now possible to have more than 512 bytes in DNS
+// responses." — the mechanism that makes large-response amplification
+// (§II-C) possible over UDP.
+//
+// EDNS is carried as an OPT pseudo-record in the additional section: the
+// record's class field holds the sender's UDP payload size and the TTL
+// field packs the extended rcode and flags.
+
+// ClassicMaxUDP is the pre-EDNS UDP message size limit (RFC 1035 §4.2.1).
+const ClassicMaxUDP = 512
+
+// DefaultEDNSSize is the payload size advertised by the probe queries when
+// EDNS is enabled (BIND's long-standing default).
+const DefaultEDNSSize = 4096
+
+// EDNS is the decoded OPT pseudo-record state of a message.
+type EDNS struct {
+	// UDPSize is the sender's advertised maximum UDP payload.
+	UDPSize uint16
+	// ExtRcode is the upper 8 bits of the extended rcode.
+	ExtRcode uint8
+	// Version is the EDNS version (0).
+	Version uint8
+	// DO is the DNSSEC-OK bit.
+	DO bool
+}
+
+// SetEDNS attaches (or replaces) the OPT record advertising e.
+func (m *Message) SetEDNS(e EDNS) {
+	ttl := uint32(e.ExtRcode)<<24 | uint32(e.Version)<<16
+	if e.DO {
+		ttl |= 1 << 15
+	}
+	opt := RR{
+		Name:  "", // root
+		Type:  TypeOPT,
+		Class: Class(e.UDPSize),
+		TTL:   ttl,
+		Data:  []byte{},
+	}
+	for i := range m.Additional {
+		if m.Additional[i].Type == TypeOPT {
+			m.Additional[i] = opt
+			return
+		}
+	}
+	m.Additional = append(m.Additional, opt)
+}
+
+// GetEDNS returns the message's EDNS state, if an OPT record is present.
+func (m *Message) GetEDNS() (EDNS, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type != TypeOPT {
+			continue
+		}
+		return EDNS{
+			UDPSize:  uint16(rr.Class),
+			ExtRcode: uint8(rr.TTL >> 24),
+			Version:  uint8(rr.TTL >> 16),
+			DO:       rr.TTL&(1<<15) != 0,
+		}, true
+	}
+	return EDNS{}, false
+}
+
+// MaxResponseSize returns the UDP payload budget a responder should honor
+// for a query: the advertised EDNS size (clamped below the classic
+// minimum), or the classic 512-byte limit without EDNS.
+func (m *Message) MaxResponseSize() int {
+	if e, ok := m.GetEDNS(); ok {
+		if e.UDPSize < ClassicMaxUDP {
+			return ClassicMaxUDP
+		}
+		return int(e.UDPSize)
+	}
+	return ClassicMaxUDP
+}
+
+// TruncateTo drops answer records until the packed message fits within
+// maxSize, setting the TC bit if anything was dropped (RFC 2181 §9: a
+// truncated response signals the client to retry over TCP). It returns the
+// packed wire form.
+func (m *Message) TruncateTo(maxSize int) ([]byte, error) {
+	wire, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if len(wire) <= maxSize {
+		return wire, nil
+	}
+	m.Header.TC = true
+	for len(m.Answers) > 0 {
+		m.Answers = m.Answers[:len(m.Answers)-1]
+		wire, err = m.Pack()
+		if err != nil {
+			return nil, err
+		}
+		if len(wire) <= maxSize {
+			return wire, nil
+		}
+	}
+	// Even the empty-answer header form may exceed tiny budgets; return it
+	// regardless — 512 bytes always fits a header plus one question.
+	return wire, nil
+}

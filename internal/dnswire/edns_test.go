@@ -1,0 +1,118 @@
+package dnswire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEDNSRoundTrip(t *testing.T) {
+	q := NewQuery(1, "example.net", TypeANY)
+	q.SetEDNS(EDNS{UDPSize: 4096, DO: true})
+	wire := q.MustPack()
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.GetEDNS()
+	if !ok {
+		t.Fatal("OPT record lost")
+	}
+	if e.UDPSize != 4096 || !e.DO || e.Version != 0 || e.ExtRcode != 0 {
+		t.Errorf("EDNS = %+v", e)
+	}
+	if got.MaxResponseSize() != 4096 {
+		t.Errorf("MaxResponseSize = %d", got.MaxResponseSize())
+	}
+}
+
+func TestSetEDNSReplaces(t *testing.T) {
+	q := NewQuery(1, "example.net", TypeA)
+	q.SetEDNS(EDNS{UDPSize: 1232})
+	q.SetEDNS(EDNS{UDPSize: 4096})
+	if len(q.Additional) != 1 {
+		t.Fatalf("additional = %d records", len(q.Additional))
+	}
+	e, _ := q.GetEDNS()
+	if e.UDPSize != 4096 {
+		t.Errorf("UDPSize = %d", e.UDPSize)
+	}
+}
+
+func TestNoEDNSDefaults(t *testing.T) {
+	q := NewQuery(1, "example.net", TypeA)
+	if _, ok := q.GetEDNS(); ok {
+		t.Error("phantom OPT record")
+	}
+	if q.MaxResponseSize() != ClassicMaxUDP {
+		t.Errorf("MaxResponseSize = %d", q.MaxResponseSize())
+	}
+	// Tiny advertised sizes clamp up to the classic minimum.
+	q.SetEDNS(EDNS{UDPSize: 100})
+	if q.MaxResponseSize() != ClassicMaxUDP {
+		t.Errorf("clamped MaxResponseSize = %d", q.MaxResponseSize())
+	}
+}
+
+func TestExtendedRcodeBits(t *testing.T) {
+	m := &Message{Header: Header{QR: true}}
+	m.SetEDNS(EDNS{UDPSize: 512, ExtRcode: 0xAB, Version: 0})
+	wire := m.MustPack()
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := got.GetEDNS()
+	if e.ExtRcode != 0xAB {
+		t.Errorf("ExtRcode = %#x", e.ExtRcode)
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	q := NewQuery(7, "big.example.net", TypeANY)
+	resp := NewResponse(q)
+	for i := 0; i < 40; i++ {
+		resp.Answers = append(resp.Answers, RR{
+			Name: "big.example.net", Type: TypeTXT, Class: ClassIN, TTL: 60,
+			Target: strings.Repeat("x", 100),
+		})
+	}
+	full, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= ClassicMaxUDP {
+		t.Fatalf("test response too small: %d", len(full))
+	}
+
+	// A copy under the classic limit must truncate and set TC.
+	small := NewResponse(q)
+	small.Answers = append(small.Answers, resp.Answers...)
+	wire, err := small.TruncateTo(ClassicMaxUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) > ClassicMaxUDP {
+		t.Errorf("truncated wire = %d bytes", len(wire))
+	}
+	back, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Header.TC {
+		t.Error("TC bit not set after truncation")
+	}
+	if len(back.Answers) >= 40 {
+		t.Error("no answers dropped")
+	}
+
+	// A large budget leaves the message intact.
+	intact := NewResponse(q)
+	intact.Answers = append(intact.Answers, resp.Answers...)
+	wire2, err := intact.TruncateTo(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire2) != len(full) || intact.Header.TC {
+		t.Error("untruncated message modified")
+	}
+}

@@ -1,0 +1,43 @@
+package dnswire_test
+
+import (
+	"fmt"
+
+	"openresolver/internal/dnswire"
+)
+
+func ExampleNewQuery() {
+	q := dnswire.NewQuery(42, "or000.0000001.ucfsealresearch.net", dnswire.TypeA)
+	wire, _ := q.Pack()
+	back, _ := dnswire.Unpack(wire)
+	question, _ := back.Question1()
+	fmt.Println(question)
+	// Output: or000.0000001.ucfsealresearch.net IN A
+}
+
+func ExampleMessage_TruncateTo() {
+	q := dnswire.NewQuery(1, "big.example.net", dnswire.TypeANY)
+	resp := dnswire.NewResponse(q)
+	for i := 0; i < 40; i++ {
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: "big.example.net", Type: dnswire.TypeTXT, Class: dnswire.ClassIN,
+			Target: "some reasonably long txt record payload for the zone",
+		})
+	}
+	wire, _ := resp.TruncateTo(dnswire.ClassicMaxUDP) // no EDNS: classic 512B limit
+	back, _ := dnswire.Unpack(wire)
+	fmt.Println(len(wire) <= 512, back.Header.TC)
+	// Output: true true
+}
+
+func ExampleStreamParser() {
+	var stream []byte
+	for id := uint16(1); id <= 3; id++ {
+		m := dnswire.NewQuery(id, "x.example.net", dnswire.TypeA)
+		stream, _ = m.AppendTCP(stream)
+	}
+	p := &dnswire.StreamParser{}
+	msgs, _ := p.Feed(stream)
+	fmt.Println(len(msgs))
+	// Output: 3
+}

@@ -1,0 +1,189 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by name encoding and decoding.
+var (
+	ErrNameTooLong     = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel      = errors.New("dnswire: empty label")
+	ErrTruncatedName   = errors.New("dnswire: truncated name")
+	ErrBadPointer      = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop     = errors.New("dnswire: compression pointer loop")
+	ErrReservedLabel   = errors.New("dnswire: reserved label type")
+	ErrTrailingGarbage = errors.New("dnswire: trailing bytes after message")
+)
+
+const (
+	maxNameWire  = 255 // RFC 1035 §2.3.4: total name length on the wire
+	maxLabelWire = 63  // RFC 1035 §2.3.4: single label length
+)
+
+// CanonicalName lowercases a domain name and strips one trailing dot, so
+// "WWW.Example.COM." and "www.example.com" compare equal. DNS name matching
+// is case-insensitive (RFC 1035 §2.3.3) and the flow-grouping step of the
+// measurement (matching Q1/Q2/R1/R2 by qname) relies on this normalization,
+// including against resolvers that apply 0x20 randomization.
+func CanonicalName(name string) string {
+	name = strings.TrimSuffix(name, ".")
+	return strings.ToLower(name)
+}
+
+// appendName encodes a presentation-form name in uncompressed wire format
+// and appends it to dst. The empty string encodes the root (a single zero
+// octet). RFC 1035 §5.1 escapes are honored: "\." is a literal dot inside
+// a label, "\\" a literal backslash, and "\DDD" an arbitrary octet.
+// Compression on output is intentionally not implemented: none of the
+// paper's flows require it and many deployed resolvers never emit pointers
+// either; decoding (below) accepts compressed names from any peer.
+func appendName(dst []byte, name string) ([]byte, error) {
+	if name == "" || name == "." {
+		return append(dst, 0), nil
+	}
+	// Trim one trailing dot, but only if it is a real separator (an even
+	// number of backslashes precedes it).
+	if strings.HasSuffix(name, ".") {
+		bs := 0
+		for i := len(name) - 2; i >= 0 && name[i] == '\\'; i-- {
+			bs++
+		}
+		if bs%2 == 0 {
+			name = name[:len(name)-1]
+		}
+	}
+	wireLen := 1 // terminating root octet
+	var label []byte
+	flush := func() error {
+		if len(label) == 0 {
+			return fmt.Errorf("%w in %q", ErrEmptyLabel, name)
+		}
+		if len(label) > maxLabelWire {
+			return fmt.Errorf("%w: %q", ErrLabelTooLong, label)
+		}
+		wireLen += 1 + len(label)
+		if wireLen > maxNameWire {
+			return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+		}
+		dst = append(dst, byte(len(label)))
+		dst = append(dst, label...)
+		label = label[:0]
+		return nil
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '\\':
+			if i+1 >= len(name) {
+				return nil, fmt.Errorf("dnswire: dangling escape in %q", name)
+			}
+			next := name[i+1]
+			if next >= '0' && next <= '9' {
+				if i+3 >= len(name) || !isDigit(name[i+2]) || !isDigit(name[i+3]) {
+					return nil, fmt.Errorf("dnswire: bad \\DDD escape in %q", name)
+				}
+				v := int(next-'0')*100 + int(name[i+2]-'0')*10 + int(name[i+3]-'0')
+				if v > 255 {
+					return nil, fmt.Errorf("dnswire: \\DDD escape %d out of range in %q", v, name)
+				}
+				label = append(label, byte(v))
+				i += 3
+				continue
+			}
+			label = append(label, next)
+			i++
+		case c == '.':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			label = append(label, c)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return append(dst, 0), nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// appendPresentation renders one wire label into presentation form,
+// escaping dots, backslashes and non-printable octets (RFC 1035 §5.1), and
+// lowercasing ASCII letters (names compare case-insensitively and the
+// measurement groups flows by canonical qname).
+func appendPresentation(b *strings.Builder, label []byte) {
+	for _, c := range label {
+		switch {
+		case c == '.' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x21 || c > 0x7E:
+			b.WriteByte('\\')
+			b.WriteByte('0' + c/100)
+			b.WriteByte('0' + c/10%10)
+			b.WriteByte('0' + c%10)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c + 'a' - 'A')
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// readName decodes a possibly compressed name starting at off in msg. It
+// returns the decoded name in presentation form (lowercase, no trailing dot)
+// and the offset of the first byte after the name at its original position.
+func readName(msg []byte, off int) (string, int, error) {
+	var b strings.Builder
+	ptrBudget := len(msg) // each pointer must strictly decrease; budget bounds loops
+	jumped := false
+	next := 0 // resume offset once the first pointer is followed
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return b.String(), next, nil
+		case c < 64: // ordinary label
+			end := off + 1 + c
+			if end > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			if b.Len() != 0 {
+				b.WriteByte('.')
+			}
+			if b.Len()+c > 4*maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			appendPresentation(&b, msg[off+1:end])
+			off = end
+		case c >= 0xC0: // compression pointer
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			target := (c&0x3F)<<8 | int(msg[off+1])
+			if target >= off {
+				return "", 0, ErrBadPointer
+			}
+			if ptrBudget--; ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			off = target
+		default: // 0x40 and 0x80 label types are reserved
+			return "", 0, ErrReservedLabel
+		}
+	}
+}

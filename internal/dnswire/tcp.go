@@ -1,0 +1,71 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2, RFC 7766): each message is preceded by a
+// two-byte big-endian length. The StreamParser reassembles messages from
+// arbitrary segment boundaries — the deframing any DNS-over-TCP endpoint
+// must implement.
+
+// AppendTCP appends msg in TCP framing (length prefix + wire form) to dst.
+func (m *Message) AppendTCP(dst []byte) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0) // length placeholder
+	dst, err := m.Append(dst)
+	if err != nil {
+		return nil, err
+	}
+	size := len(dst) - start - 2
+	if size > 0xFFFF {
+		return nil, ErrRDataTooLong
+	}
+	binary.BigEndian.PutUint16(dst[start:], uint16(size))
+	return dst, nil
+}
+
+// PackTCP encodes msg in TCP framing.
+func (m *Message) PackTCP() ([]byte, error) {
+	return m.AppendTCP(make([]byte, 0, 128))
+}
+
+// StreamParser reassembles TCP-framed DNS messages from a byte stream.
+type StreamParser struct {
+	buf []byte
+	// MaxMessage bounds accepted message sizes (0 = 64 KiB).
+	MaxMessage int
+}
+
+// Feed appends stream bytes and returns all complete messages now
+// available. Partial trailing data is retained for the next Feed.
+func (p *StreamParser) Feed(data []byte) ([]*Message, error) {
+	p.buf = append(p.buf, data...)
+	limit := p.MaxMessage
+	if limit <= 0 {
+		limit = 0xFFFF
+	}
+	var out []*Message
+	for {
+		if len(p.buf) < 2 {
+			return out, nil
+		}
+		size := int(binary.BigEndian.Uint16(p.buf))
+		if size > limit {
+			return out, fmt.Errorf("dnswire: TCP frame of %d bytes exceeds limit %d", size, limit)
+		}
+		if len(p.buf) < 2+size {
+			return out, nil
+		}
+		msg, err := Unpack(p.buf[2 : 2+size])
+		p.buf = p.buf[2+size:]
+		if err != nil {
+			return out, fmt.Errorf("dnswire: TCP frame: %w", err)
+		}
+		out = append(out, msg)
+	}
+}
+
+// Pending returns the number of buffered, not-yet-parseable bytes.
+func (p *StreamParser) Pending() int { return len(p.buf) }

@@ -1,0 +1,123 @@
+package dnswire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTCPFramingRoundTrip(t *testing.T) {
+	q := NewQuery(9, "or001.0000123.ucfsealresearch.net", TypeA)
+	wire, err := q.PackTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &StreamParser{}
+	msgs, err := p.Feed(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if got, _ := msgs[0].Question1(); got.Name != "or001.0000123.ucfsealresearch.net" {
+		t.Errorf("qname = %q", got.Name)
+	}
+	if p.Pending() != 0 {
+		t.Errorf("pending = %d", p.Pending())
+	}
+}
+
+func TestStreamParserSegmentBoundaries(t *testing.T) {
+	// Three messages, fed one byte at a time: reassembly must be exact.
+	var stream []byte
+	for i := 0; i < 3; i++ {
+		m := NewQuery(uint16(i+1), "x.example.net", TypeA)
+		var err error
+		stream, err = m.AppendTCP(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &StreamParser{}
+	var got []*Message
+	for _, b := range stream {
+		msgs, err := p.Feed([]byte{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, msgs...)
+	}
+	if len(got) != 3 {
+		t.Fatalf("messages = %d", len(got))
+	}
+	for i, m := range got {
+		if m.Header.ID != uint16(i+1) {
+			t.Errorf("message %d has ID %d", i, m.Header.ID)
+		}
+	}
+}
+
+func TestStreamParserCoalescedFrames(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 5; i++ {
+		m := NewQuery(uint16(i), "y.example.net", TypeA)
+		var err error
+		stream, err = m.AppendTCP(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &StreamParser{}
+	msgs, err := p.Feed(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 5 {
+		t.Errorf("messages = %d", len(msgs))
+	}
+}
+
+func TestStreamParserRejectsOversized(t *testing.T) {
+	p := &StreamParser{MaxMessage: 64}
+	if _, err := p.Feed([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestStreamParserBadFrame(t *testing.T) {
+	p := &StreamParser{}
+	// Frame of 3 garbage bytes: shorter than a DNS header.
+	if _, err := p.Feed([]byte{0, 3, 1, 2, 3}); err == nil {
+		t.Error("garbage frame accepted")
+	}
+}
+
+func TestPropertyTCPFramingRoundTrip(t *testing.T) {
+	f := func(id uint16, count uint8) bool {
+		n := int(count%5) + 1
+		var stream []byte
+		for i := 0; i < n; i++ {
+			m := NewQuery(id+uint16(i), "p.example.net", TypeA)
+			var err error
+			stream, err = m.AppendTCP(stream)
+			if err != nil {
+				return false
+			}
+		}
+		p := &StreamParser{}
+		// Split at an arbitrary point.
+		cut := int(id) % (len(stream) + 1)
+		a, err := p.Feed(stream[:cut])
+		if err != nil {
+			return false
+		}
+		b, err := p.Feed(stream[cut:])
+		if err != nil {
+			return false
+		}
+		return len(a)+len(b) == n && p.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package dnswire implements the DNS wire format of RFC 1034/1035 (with the
+// EDNS(0) extension of RFC 6891) from scratch on top of the standard library.
+//
+// It provides the message model used throughout the reproduction: the prober
+// encodes Q1 queries with it, every simulated resolver and name server parses
+// and builds messages with it, and the analysis pipeline decodes captured R2
+// packets with it. Only the subset of the protocol exercised by the paper is
+// implemented, but that subset is implemented completely: full header flag
+// handling, name compression, and the record types a 2018 open-resolver scan
+// encounters in practice.
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2, RFC 6895).
+type Type uint16
+
+// Resource record types used by the measurement and its substrates.
+const (
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeOPT    Type = 41
+	TypeRRSIG  Type = 46
+	TypeDNSKEY Type = 48
+	TypeANY    Type = 255
+)
+
+// String returns the conventional mnemonic for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeOPT:
+		return "OPT"
+	case TypeRRSIG:
+		return "RRSIG"
+	case TypeDNSKEY:
+		return "DNSKEY"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class (RFC 1035 §3.2.4). Only IN is used in practice.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassIN  Class = 1
+	ClassCH  Class = 3
+	ClassANY Class = 255
+)
+
+// String returns the conventional mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// Opcode is the 4-bit DNS operation code.
+type Opcode uint8
+
+// Opcodes (RFC 1035 §4.1.1, RFC 6895).
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// Rcode is the 4-bit DNS response code (RFC 1035 §4.1.1, RFC 6895).
+// The paper's Table VI analyzes exactly these values.
+type Rcode uint8
+
+// Response codes.
+const (
+	RcodeNoError  Rcode = 0
+	RcodeFormErr  Rcode = 1
+	RcodeServFail Rcode = 2
+	RcodeNXDomain Rcode = 3
+	RcodeNotImp   Rcode = 4
+	RcodeRefused  Rcode = 5
+	RcodeYXDomain Rcode = 6
+	RcodeYXRRSet  Rcode = 7
+	RcodeNXRRSet  Rcode = 8
+	RcodeNotAuth  Rcode = 9
+	RcodeNotZone  Rcode = 10
+)
+
+// String returns the IANA mnemonic for the rcode, matching the spelling used
+// in the paper's Table VI.
+func (r Rcode) String() string {
+	switch r {
+	case RcodeNoError:
+		return "NoError"
+	case RcodeFormErr:
+		return "FormErr"
+	case RcodeServFail:
+		return "ServFail"
+	case RcodeNXDomain:
+		return "NXDomain"
+	case RcodeNotImp:
+		return "NotImp"
+	case RcodeRefused:
+		return "Refused"
+	case RcodeYXDomain:
+		return "YXDomain"
+	case RcodeYXRRSet:
+		return "YXRRSet"
+	case RcodeNXRRSet:
+		return "NXRRSet"
+	case RcodeNotAuth:
+		return "NotAuth"
+	case RcodeNotZone:
+		return "NotZone"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Header is the 12-byte DNS message header (RFC 1035 §4.1.1), with the flag
+// bits unpacked into fields. The RA and AA bits are the primary behavioral
+// signals studied in the paper (Tables IV, V and X).
+type Header struct {
+	ID uint16
+	// QR is true for responses.
+	QR     bool
+	Opcode Opcode
+	// AA: Authoritative Answer. Expected to be 0 in all R2 except from the
+	// measurement's own authoritative server (paper §IV-B2).
+	AA bool
+	// TC: TrunCation.
+	TC bool
+	// RD: Recursion Desired. Set on all probe queries (paper §IV-B1).
+	RD bool
+	// RA: Recursion Available.
+	RA bool
+	// Z is the reserved 3-bit field; kept verbatim so nonconforming
+	// resolvers that set it survive a round trip.
+	Z     uint8
+	Rcode Rcode
+}
+
+// Question is one entry of the question section (RFC 1035 §4.1.2).
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like presentation form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is one resource record in presentation-friendly decoded form
+// (RFC 1035 §4.1.3). RDATA is kept both raw and decoded: the analysis
+// pipeline needs the raw bytes to classify malformed answers (the 2013 "N/A"
+// form of Table VII) and the decoded value to validate correctness.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	// Data is the raw RDATA as it appeared on the wire.
+	Data []byte
+	// A holds the decoded IPv4 address for TypeA records (0 otherwise).
+	A uint32
+	// Target holds the decoded domain name for NS/CNAME/PTR/MX records and
+	// the decoded text for TXT records.
+	Target string
+	// Pref holds the decoded preference for MX records.
+	Pref uint16
+	// Malformed reports that RDATA could not be decoded according to Type.
+	Malformed bool
+}
+
+// Message is a complete DNS message (RFC 1035 §4.1).
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Question1 returns the first question, or the zero Question if the question
+// section is empty. Responses with an empty question section are themselves a
+// studied behaviour (paper §IV-B4), so absence is not an error.
+func (m *Message) Question1() (Question, bool) {
+	if len(m.Questions) == 0 {
+		return Question{}, false
+	}
+	return m.Questions[0], true
+}
+
+// FirstA returns the first A record in the answer section and true, or 0 and
+// false when the answer section holds no well-formed A record.
+func (m *Message) FirstA() (uint32, bool) {
+	for _, rr := range m.Answers {
+		if rr.Type == TypeA && !rr.Malformed {
+			return rr.A, true
+		}
+	}
+	return 0, false
+}
+
+// String renders a compact single-line summary, useful in logs and examples.
+func (m *Message) String() string {
+	var b strings.Builder
+	kind := "query"
+	if m.Header.QR {
+		kind = "response"
+	}
+	fmt.Fprintf(&b, "%s id=%d rcode=%s", kind, m.Header.ID, m.Header.Rcode)
+	if m.Header.AA {
+		b.WriteString(" aa")
+	}
+	if m.Header.RD {
+		b.WriteString(" rd")
+	}
+	if m.Header.RA {
+		b.WriteString(" ra")
+	}
+	if q, ok := m.Question1(); ok {
+		fmt.Fprintf(&b, " q=%q", q.Name)
+	}
+	fmt.Fprintf(&b, " ans=%d", len(m.Answers))
+	return b.String()
+}

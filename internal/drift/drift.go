@@ -1,0 +1,117 @@
+// Package drift implements the continuous-monitoring capability the paper
+// argues for in §V: the Open Resolver Project stopped publishing in 2017
+// and existing scans "do not provide any behavioral analysis", so the
+// paper calls for "a systematic and constant follow-up of the behavioral
+// analysis in the open resolver ecosystem".
+//
+// The package provides that harness: it runs a behaviorally-analyzed
+// campaign per monitoring epoch and reports the trend of the indicators
+// the paper tracks (population size, answer error rate, manipulated and
+// malicious answers). Between the two snapshots the paper measured, the
+// ecosystem is modeled by linear interpolation of the calibrated 2013 and
+// 2018 populations — a deployment against the live Internet would swap the
+// interpolated population for real probing while keeping the entire
+// pipeline identical.
+package drift
+
+import (
+	"fmt"
+	"strings"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/core"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/population"
+	"openresolver/internal/threatintel"
+)
+
+// Config parameterizes the monitoring trend.
+type Config struct {
+	// Epochs is the number of evenly spaced campaigns between the 2013 and
+	// 2018 snapshots, inclusive (≥ 2).
+	Epochs int
+	// SampleShift scales each campaign (as in core.Config).
+	SampleShift uint8
+	// Seed drives population construction.
+	Seed int64
+}
+
+// Point is one monitoring epoch's summary.
+type Point struct {
+	// Label is the interpolated position, e.g. "2013.0", "2015.5".
+	Label string
+	// Weight is the 2018 share of the mixture in [0, 1].
+	Weight float64
+	// Report is the epoch's full behavioral analysis.
+	Report *analysis.Report
+}
+
+// Trend runs the monitoring campaigns and returns one point per epoch.
+func Trend(cfg Config) ([]Point, error) {
+	if cfg.Epochs < 2 {
+		return nil, fmt.Errorf("drift: need at least 2 epochs")
+	}
+	feed13 := threatintel.NewFeed(paperdata.Y2013, cfg.Seed)
+	feed18 := threatintel.NewFeed(paperdata.Y2018, cfg.Seed)
+	pop13, err := population.Build(population.Config{
+		Year: paperdata.Y2013, SampleShift: cfg.SampleShift, Seed: cfg.Seed, Feed: feed13,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pop18, err := population.Build(population.Config{
+		Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed, Feed: feed18,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The analyzer must recognize malicious addresses from both snapshots.
+	merged := threatintel.NewDB()
+	for _, f := range []*threatintel.Feed{feed13, feed18} {
+		for _, addr := range f.DB.Addrs() {
+			rec, _ := f.DB.Lookup(addr)
+			merged.Add(addr, rec.Reports...)
+		}
+	}
+
+	points := make([]Point, 0, cfg.Epochs)
+	for i := 0; i < cfg.Epochs; i++ {
+		w := float64(i) / float64(cfg.Epochs-1)
+		mixed, err := population.Mix(pop13, pop18, w)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := core.SynthesizePopulation(core.Config{
+			Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed + int64(i),
+		}, mixed, merged)
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d: %w", i, err)
+		}
+		points = append(points, Point{
+			Label:  fmt.Sprintf("%.1f", 2013+5*w),
+			Weight: w,
+			Report: ds.Report,
+		})
+	}
+	return points, nil
+}
+
+// RenderTrend formats the monitored indicators as a text table.
+func RenderTrend(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %10s %10s %8s %10s\n",
+		"epoch", "responders", "open (RA1)", "incorrect", "malicious", "Err(%)", "countries")
+	for _, p := range points {
+		r := p.Report
+		fmt.Fprintf(&b, "%-8s %12d %12d %10d %10d %8.3f %10d\n",
+			p.Label,
+			r.Correctness.R2,
+			r.Estimates.RAOnly,
+			r.Correctness.Incorr,
+			r.MaliciousTotal.R2,
+			r.Correctness.ErrPct(),
+			len(r.MaliciousGeo),
+		)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package drift
+
+import (
+	"strings"
+	"testing"
+
+	"openresolver/internal/paperdata"
+)
+
+func TestTrendEndpointsMatchSnapshots(t *testing.T) {
+	points, err := Trend(Config{Epochs: 3, SampleShift: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	first, mid, last := points[0].Report, points[1].Report, points[2].Report
+
+	// Endpoint epochs must equal the pure-year campaigns at this scale.
+	want13 := (paperdata.Campaigns[paperdata.Y2013].R2 + 256) >> 9
+	if first.Correctness.R2+first.EmptyQ.Total != want13 {
+		t.Errorf("epoch 2013: R2 = %d, want %d", first.Correctness.R2+first.EmptyQ.Total, want13)
+	}
+	want18 := (paperdata.Campaigns[paperdata.Y2018].R2 + 256) >> 9
+	if last.Correctness.R2+last.EmptyQ.Total != want18 {
+		t.Errorf("epoch 2018: R2 = %d, want %d", last.Correctness.R2+last.EmptyQ.Total, want18)
+	}
+
+	// The paper's trend directions: population shrinks, error rate grows,
+	// malicious answers grow.
+	if !(first.Correctness.R2 > mid.Correctness.R2 && mid.Correctness.R2 > last.Correctness.R2) {
+		t.Errorf("population trend not monotone: %d %d %d",
+			first.Correctness.R2, mid.Correctness.R2, last.Correctness.R2)
+	}
+	if !(first.Correctness.ErrPct() < last.Correctness.ErrPct()) {
+		t.Errorf("error rate did not grow: %.3f → %.3f",
+			first.Correctness.ErrPct(), last.Correctness.ErrPct())
+	}
+	if !(first.MaliciousTotal.R2 < last.MaliciousTotal.R2) {
+		t.Errorf("malicious answers did not grow: %d → %d",
+			first.MaliciousTotal.R2, last.MaliciousTotal.R2)
+	}
+	// Middle epoch lies strictly between the endpoints.
+	if !(mid.MaliciousTotal.R2 >= first.MaliciousTotal.R2 && mid.MaliciousTotal.R2 <= last.MaliciousTotal.R2) {
+		t.Errorf("mid malicious %d outside [%d, %d]",
+			mid.MaliciousTotal.R2, first.MaliciousTotal.R2, last.MaliciousTotal.R2)
+	}
+}
+
+func TestTrendLabels(t *testing.T) {
+	points, err := Trend(Config{Epochs: 6, SampleShift: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Label != "2013.0" || points[5].Label != "2018.0" {
+		t.Errorf("labels = %s … %s", points[0].Label, points[5].Label)
+	}
+	if points[1].Label != "2014.0" {
+		t.Errorf("second label = %s", points[1].Label)
+	}
+	out := RenderTrend(points)
+	if !strings.Contains(out, "2013.0") || !strings.Contains(out, "2018.0") {
+		t.Errorf("render missing epochs:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 7 {
+		t.Errorf("render rows:\n%s", out)
+	}
+}
+
+func TestTrendValidation(t *testing.T) {
+	if _, err := Trend(Config{Epochs: 1}); err == nil {
+		t.Error("single epoch accepted")
+	}
+}

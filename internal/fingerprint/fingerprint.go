@@ -1,0 +1,166 @@
+// Package fingerprint implements the resolver-software survey of Takano et
+// al. (the paper's reference [8], §I and §VI): probing open resolvers with
+// CHAOS-class version.bind TXT queries to identify the software they run.
+// The paper cites that study as evidence that the open-resolver population
+// is dominated by embedded forwarders and outdated server builds — the
+// exploitable long tail behind both threats it measures.
+package fingerprint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+)
+
+// VersionShare is one entry of a software-banner distribution.
+type VersionShare struct {
+	Banner string
+	// Weight is the relative share (need not sum to anything).
+	Weight int
+}
+
+// DefaultDistribution models the software mix the [8] study and later
+// Shadowserver scans report for open resolvers: embedded dnsmasq
+// forwarders dominate, followed by BIND 9 builds of various vintages, with
+// a substantial hidden share (banner withheld or rewritten).
+var DefaultDistribution = []VersionShare{
+	{Banner: "dnsmasq-2.40", Weight: 22},
+	{Banner: "dnsmasq-2.52", Weight: 14},
+	{Banner: "dnsmasq-2.76", Weight: 9},
+	{Banner: "9.3.6-P1-RedHat-9.3.6-25.P1.el5_11.11", Weight: 7},
+	{Banner: "9.8.2rc1-RedHat-9.8.2-0.62.rc1.el6", Weight: 6},
+	{Banner: "9.9.4-RedHat-9.9.4-73.el7_6", Weight: 5},
+	{Banner: "9.10.3-P4-Ubuntu", Weight: 4},
+	{Banner: "PowerDNS Recursor 4.1.1", Weight: 2},
+	{Banner: "unbound 1.6.8", Weight: 2},
+	{Banner: "Microsoft DNS 6.1.7601", Weight: 5},
+	{Banner: "Nominum Vantio 5.4.1.2", Weight: 1},
+	{Banner: "", Weight: 23}, // banner withheld: query refused
+}
+
+// Assign draws a banner from the distribution.
+func Assign(rng *rand.Rand, dist []VersionShare) string {
+	total := 0
+	for _, v := range dist {
+		total += v.Weight
+	}
+	if total == 0 {
+		return ""
+	}
+	n := rng.Intn(total)
+	for _, v := range dist {
+		if n < v.Weight {
+			return v.Banner
+		}
+		n -= v.Weight
+	}
+	return ""
+}
+
+// Result is the tabulated outcome of a fingerprint scan.
+type Result struct {
+	// Banners maps each observed banner to its count.
+	Banners map[string]int
+	// Refused counts resolvers that answered but withheld the banner.
+	Refused int
+	// Silent counts targets that never answered the CH query.
+	Silent int
+	// Probed is the number of targets queried.
+	Probed int
+}
+
+// Top returns the n most common banners in descending order.
+func (r *Result) Top(n int) []VersionShare {
+	out := make([]VersionShare, 0, len(r.Banners))
+	for banner, count := range r.Banners {
+		out = append(out, VersionShare{Banner: banner, Weight: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Banner < out[j].Banner
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders a summary line.
+func (r *Result) String() string {
+	return fmt.Sprintf("probed=%d banners=%d refused=%d silent=%d",
+		r.Probed, len(r.Banners), r.Refused, r.Silent)
+}
+
+// scanner is the probing host.
+type scanner struct {
+	result  *Result
+	pending map[uint16]ipv4.Addr
+}
+
+func (s *scanner) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
+	msg, err := dnswire.Unpack(dg.Payload)
+	if err != nil || !msg.Header.QR {
+		return
+	}
+	if _, ok := s.pending[msg.Header.ID]; !ok {
+		return
+	}
+	delete(s.pending, msg.Header.ID)
+	if msg.Header.Rcode == dnswire.RcodeRefused {
+		s.result.Refused++
+		return
+	}
+	for _, rr := range msg.Answers {
+		if rr.Type == dnswire.TypeTXT && rr.Class == dnswire.ClassCH {
+			s.result.Banners[rr.Target]++
+			return
+		}
+	}
+	s.result.Refused++
+}
+
+// Scan probes targets with version.bind CH TXT from src and tabulates the
+// banners. It drives the simulation to quiescence, so call it when no
+// other workload is pending on sim.
+func Scan(sim *netsim.Sim, src ipv4.Addr, targets []ipv4.Addr) (*Result, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("fingerprint: no targets")
+	}
+	res := &Result{Banners: make(map[string]int), Probed: len(targets)}
+	sc := &scanner{result: res, pending: make(map[uint16]ipv4.Addr)}
+	node := sim.Register(src, sc)
+
+	var id uint16
+	for i, target := range targets {
+		id++
+		q := &dnswire.Message{
+			Header: dnswire.Header{ID: id},
+			Questions: []dnswire.Question{{
+				Name: "version.bind", Type: dnswire.TypeTXT, Class: dnswire.ClassCH,
+			}},
+		}
+		wire, err := q.Pack()
+		if err != nil {
+			return nil, err
+		}
+		sc.pending[id] = target
+		// Stagger lightly so huge target lists do not arrive in one burst.
+		delay := time.Duration(i) * 50 * time.Microsecond
+		t := target
+		w := wire
+		node.After(delay, func() { node.Send(t, 54321, dnssrv.DNSPort, w) })
+	}
+	if err := sim.Run(0); err != nil {
+		return nil, err
+	}
+	res.Silent = len(sc.pending)
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"openresolver/internal/behavior"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+)
+
+var (
+	scanSrc  = ipv4.MustParseAddr("132.170.3.10")
+	rootAddr = ipv4.MustParseAddr("198.41.0.4")
+)
+
+func TestScanTabulatesBanners(t *testing.T) {
+	sim := netsim.New(netsim.Config{Seed: 1, Latency: netsim.ConstantLatency(5 * time.Millisecond)})
+	var targets []ipv4.Addr
+	addHost := func(i int, p behavior.Profile) {
+		addr := ipv4.MustParseAddr("50.0.0.1") + ipv4.Addr(i)
+		behavior.NewResolver(sim, addr, rootAddr, p)
+		targets = append(targets, addr)
+	}
+	for i := 0; i < 5; i++ {
+		p := behavior.Refuser()
+		p.Version = "dnsmasq-2.40"
+		addHost(i, p)
+	}
+	for i := 5; i < 8; i++ {
+		p := behavior.Refuser()
+		p.Version = "9.9.4-RedHat-9.9.4-73.el7_6"
+		addHost(i, p)
+	}
+	for i := 8; i < 10; i++ {
+		addHost(i, behavior.Refuser()) // no banner: refused
+	}
+	// Two silent targets: no host registered.
+	targets = append(targets, ipv4.MustParseAddr("51.0.0.1"), ipv4.MustParseAddr("51.0.0.2"))
+
+	res, err := Scan(sim, scanSrc, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probed != 12 {
+		t.Errorf("probed = %d", res.Probed)
+	}
+	if res.Banners["dnsmasq-2.40"] != 5 || res.Banners["9.9.4-RedHat-9.9.4-73.el7_6"] != 3 {
+		t.Errorf("banners = %v", res.Banners)
+	}
+	if res.Refused != 2 {
+		t.Errorf("refused = %d", res.Refused)
+	}
+	if res.Silent != 2 {
+		t.Errorf("silent = %d", res.Silent)
+	}
+	top := res.Top(1)
+	if len(top) != 1 || top[0].Banner != "dnsmasq-2.40" || top[0].Weight != 5 {
+		t.Errorf("top = %v", top)
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestVersionQueryDoesNotDisturbINPath(t *testing.T) {
+	// A resolver with a banner still serves ordinary IN queries per its
+	// profile: the CH handler must not swallow them.
+	sim := netsim.New(netsim.Config{Seed: 2, Latency: netsim.ConstantLatency(time.Millisecond)})
+	p := behavior.Manipulator(ipv4.MustParseAddr("208.91.197.91"))
+	p.Version = "dnsmasq-2.52"
+	addr := ipv4.MustParseAddr("50.0.0.9")
+	behavior.NewResolver(sim, addr, rootAddr, p)
+
+	res, err := Scan(sim, scanSrc, []ipv4.Addr{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Banners["dnsmasq-2.52"] != 1 {
+		t.Errorf("banner scan failed: %v", res.Banners)
+	}
+}
+
+func TestAssignDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[Assign(rng, DefaultDistribution)]++
+	}
+	var total int
+	for _, v := range DefaultDistribution {
+		total += v.Weight
+	}
+	for _, v := range DefaultDistribution {
+		want := float64(v.Weight) / float64(total)
+		got := float64(counts[v.Banner]) / float64(n)
+		if got < want*0.7-0.005 || got > want*1.3+0.005 {
+			t.Errorf("banner %q share %.3f, want ≈%.3f", v.Banner, got, want)
+		}
+	}
+	if Assign(rng, nil) != "" {
+		t.Error("empty distribution must yield empty banner")
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	sim := netsim.New(netsim.Config{Seed: 4})
+	if _, err := Scan(sim, scanSrc, nil); err == nil {
+		t.Error("empty target list accepted")
+	}
+}

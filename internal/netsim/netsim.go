@@ -1,0 +1,304 @@
+// Package netsim is a deterministic discrete-event simulator of a UDP-like
+// IPv4 network. It is the substrate on which the reproduction runs the
+// paper's measurement: the prober, the root/TLD/authoritative name servers
+// and millions of simulated open resolvers are all hosts exchanging
+// datagrams over a virtual network with configurable latency, jitter and
+// loss, under a virtual clock.
+//
+// The simulator is single-threaded and fully deterministic: a run is a pure
+// function of (configuration, seed). Virtual time advances only when the
+// event at the head of the queue is executed, so a campaign that takes "10
+// hours and 35 minutes" of virtual time (the paper's Table II) completes in
+// seconds of wall-clock time.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+
+	"openresolver/internal/ipv4"
+)
+
+// Datagram is one UDP-like packet in flight.
+type Datagram struct {
+	Src, Dst         ipv4.Addr
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Host is a network endpoint. HandleDatagram is invoked by the event loop
+// when a datagram addressed to the host's address is delivered; the handler
+// may send packets and arm timers through the supplied Node.
+type Host interface {
+	HandleDatagram(n *Node, dg Datagram)
+}
+
+// HostFunc adapts a function to the Host interface.
+type HostFunc func(n *Node, dg Datagram)
+
+// HandleDatagram implements Host.
+func (f HostFunc) HandleDatagram(n *Node, dg Datagram) { f(n, dg) }
+
+// LatencyModel returns the one-way delivery delay for a packet. The rng is
+// the simulation's deterministic source; models may use it for jitter.
+type LatencyModel func(src, dst ipv4.Addr, rng *rand.Rand) time.Duration
+
+// ConstantLatency returns a model with a fixed one-way delay.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(ipv4.Addr, ipv4.Addr, *rand.Rand) time.Duration { return d }
+}
+
+// UniformLatency returns a model drawing delays uniformly from [lo, hi).
+func UniformLatency(lo, hi time.Duration) LatencyModel {
+	if hi <= lo {
+		return ConstantLatency(lo)
+	}
+	return func(_, _ ipv4.Addr, rng *rand.Rand) time.Duration {
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed drives every random decision in the run.
+	Seed int64
+	// Latency is the one-way delay model; nil means a constant 20ms.
+	Latency LatencyModel
+	// Loss is the probability in [0,1) that any datagram is dropped in
+	// flight. The 2013 campaign's send shortfall is modeled with this.
+	Loss float64
+	// MaxQueuedEvents bounds the event queue as a safety net against
+	// runaway feedback loops; 0 means no bound.
+	MaxQueuedEvents int
+}
+
+// Stats are cumulative counters of a simulation run.
+type Stats struct {
+	Sent        uint64 // datagrams and stream segments submitted by hosts
+	Delivered   uint64 // datagrams/segments handed to a registered endpoint
+	Lost        uint64 // datagrams dropped by the loss model
+	NoRoute     uint64 // datagrams to addresses with no registered host
+	Timers      uint64 // timer events fired
+	StreamBytes uint64 // bytes carried over stream (TCP-like) connections
+}
+
+// Sim is a discrete-event network simulation.
+type Sim struct {
+	cfg       Config
+	now       time.Duration
+	rng       *rand.Rand
+	events    eventHeap
+	seq       uint64
+	hosts     map[ipv4.Addr]*Node
+	listeners map[listenerKey]StreamAccept
+	stats     Stats
+}
+
+// ErrEventQueueFull is returned by Run when MaxQueuedEvents is exceeded.
+var ErrEventQueueFull = errors.New("netsim: event queue limit exceeded")
+
+// New creates a simulation.
+func New(cfg Config) *Sim {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(20 * time.Millisecond)
+	}
+	return &Sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		hosts: make(map[ipv4.Addr]*Node),
+	}
+}
+
+// Now returns the current virtual time since the start of the run.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Stats returns a snapshot of the run counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Rand returns the simulation's deterministic random source. It must only
+// be used from within event handlers (the simulator is single-threaded).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Register attaches host at addr and returns its Node handle. Registering
+// an address twice replaces the previous host but preserves the Node
+// identity seen by pending timers.
+func (s *Sim) Register(addr ipv4.Addr, h Host) *Node {
+	if n, ok := s.hosts[addr]; ok {
+		n.host = h
+		return n
+	}
+	n := &Node{sim: s, addr: addr, host: h}
+	s.hosts[addr] = n
+	return n
+}
+
+// Unregister detaches the host at addr; packets to it then count as NoRoute.
+func (s *Sim) Unregister(addr ipv4.Addr) {
+	delete(s.hosts, addr)
+}
+
+// Lookup returns the node registered at addr, if any.
+func (s *Sim) Lookup(addr ipv4.Addr) (*Node, bool) {
+	n, ok := s.hosts[addr]
+	return n, ok
+}
+
+// NumHosts returns the number of registered hosts.
+func (s *Sim) NumHosts() int { return len(s.hosts) }
+
+// send enqueues delivery of dg subject to loss and latency.
+func (s *Sim) send(dg Datagram) {
+	s.stats.Sent++
+	if s.cfg.Loss > 0 && s.rng.Float64() < s.cfg.Loss {
+		s.stats.Lost++
+		return
+	}
+	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng)
+	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg})
+}
+
+func (s *Sim) schedule(at time.Duration, ev event) {
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// Step executes the next event. It returns false when the queue is empty.
+func (s *Sim) Step() (bool, error) {
+	if s.cfg.MaxQueuedEvents > 0 && s.events.Len() > s.cfg.MaxQueuedEvents {
+		return false, ErrEventQueueFull
+	}
+	if s.events.Len() == 0 {
+		return false, nil
+	}
+	ev := heap.Pop(&s.events).(event)
+	s.now = ev.at
+	switch ev.kind {
+	case evDeliver:
+		n, ok := s.hosts[ev.dg.Dst]
+		if !ok {
+			s.stats.NoRoute++
+			return true, nil
+		}
+		s.stats.Delivered++
+		n.host.HandleDatagram(n, ev.dg)
+	case evTimer:
+		s.stats.Timers++
+		if !ev.timer.stopped {
+			ev.timer.fn()
+		}
+	}
+	return true, nil
+}
+
+// Run executes events until the queue drains or until the optional deadline
+// (a virtual time) is passed. A zero deadline means run to quiescence.
+func (s *Sim) Run(deadline time.Duration) error {
+	for {
+		if deadline > 0 && s.events.Len() > 0 && s.events[0].at > deadline {
+			s.now = deadline
+			return nil
+		}
+		ok, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+	fn      func()
+}
+
+// Stop cancels the timer if it has not fired.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Node is a host's handle onto the network: its identity, its clock, and
+// its transmit/timer facilities.
+type Node struct {
+	sim  *Sim
+	addr ipv4.Addr
+	host Host
+}
+
+// Addr returns the node's IPv4 address.
+func (n *Node) Addr() ipv4.Addr { return n.addr }
+
+// Now returns the current virtual time.
+func (n *Node) Now() time.Duration { return n.sim.now }
+
+// Rand returns the simulation's deterministic random source.
+func (n *Node) Rand() *rand.Rand { return n.sim.rng }
+
+// Send transmits a datagram from this node. Src is stamped automatically.
+func (n *Node) Send(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) {
+	n.sim.send(Datagram{
+		Src: n.addr, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	})
+}
+
+// SendSpoofed transmits a datagram with a forged source address — the
+// primitive behind the paper's DNS amplification threat model (§II-C).
+func (n *Node) SendSpoofed(src, dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) {
+	n.sim.send(Datagram{
+		Src: src, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	})
+}
+
+// After schedules fn to run after d of virtual time and returns a handle
+// that can cancel it.
+func (n *Node) After(d time.Duration, fn func()) *Timer {
+	t := &Timer{fn: fn}
+	n.sim.schedule(n.sim.now+d, event{kind: evTimer, timer: t})
+	return t
+}
+
+// event is one entry of the simulation's priority queue.
+type event struct {
+	at    time.Duration
+	seq   uint64 // FIFO tie-break for equal timestamps: determinism
+	kind  evKind
+	dg    Datagram
+	timer *Timer
+}
+
+type evKind uint8
+
+const (
+	evDeliver evKind = iota + 1
+	evTimer
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,95 @@
+package paperdata
+
+// Discrepancy documents one internal inconsistency of the paper's reported
+// numbers and the reconciliation this reproduction applies. They are
+// printed by cmd/ortables and recorded in EXPERIMENTS.md.
+type Discrepancy struct {
+	ID         string
+	Where      string
+	Issue      string
+	Resolution string
+}
+
+// Discrepancies lists every known inconsistency, in table order.
+var Discrepancies = []Discrepancy{
+	{
+		ID:    "D1",
+		Where: "Table I (total row)",
+		Issue: "Printed total 575,931,649 ≠ row sum 592,708,865; the true union " +
+			"of the listed blocks is 592,708,864 (255.255.255.255/32 lies inside " +
+			"240.0.0.0/4). The complement of the true union, 3,702,258,432, equals " +
+			"the paper's 2018 Q1 exactly.",
+		Resolution: "Use the true union; treat the printed total as a typo of one /8.",
+	},
+	{
+		ID:    "D2",
+		Where: "Table II vs Table I (2013 Q1)",
+		Issue: "2013 Q1 (3,676,724,690) is 25,533,742 probes short of the allowed " +
+			"space the 2018 scan covered.",
+		Resolution: "Modeled as send loss of the 2013 C-based prober (loss rate " +
+			"0.0068967 over the allowed space).",
+	},
+	{
+		ID:    "D3",
+		Where: "Table V (2018, AA=0 row)",
+		Issue: "Column sums disagree with Table III by ±10 packets " +
+			"(correct: 2,752,572 vs 2,752,562; without: 3,642,099 vs 3,642,109).",
+		Resolution: "AA0 correct −10, AA0 without +10 (ReconciledAA).",
+	},
+	{
+		ID:         "D4",
+		Where:      "Table VI (2013 W row)",
+		Issue:      "Row sum 11,794,580 exceeds Table III's W (11,792,882) by 1,698.",
+		Resolution: "NoError absorbs: 11,780,575 → 11,778,877 (ReconciledRcode).",
+	},
+	{
+		ID:    "D5",
+		Where: "Table VI (W/O rows)",
+		Issue: "2013 W/O sums to 4,867,229 (12 short); 2018 W/O sums to " +
+			"3,642,095 (14 short).",
+		Resolution: "Refused absorbs: +12 (2013), +14 (2018) (ReconciledRcode).",
+	},
+	{
+		ID:         "D6",
+		Where:      "Table VII (2013 string row)",
+		Issue:      "Reports 57 unique values over 10 packets.",
+		Resolution: "Unique capped at the packet count (ReconciledStrUnique).",
+	},
+	{
+		ID:    "D7",
+		Where: "§IV-C1 (2013 top-10)",
+		Issue: "Only 6 of 10 multiplicities are stated, and the stated ranks are " +
+			"self-contradictory (two different addresses 'in third place').",
+		Resolution: "The 4 unstated counts are chosen to satisfy every stated " +
+			"value, threshold and the stated total 26,514; marked Synthetic in Top10.",
+	},
+	{
+		ID:    "D8",
+		Where: "§IV-B4 (empty-question breakdown)",
+		Issue: "RA1 (184) + RA0 (303) = 487 ≠ 494; rcodes sum to 493 ≠ 494.",
+		Resolution: "7 packets join RA0/no-answer; 1 packet joins ServFail " +
+			"(ReconciledEmptyQuestion).",
+	},
+	{
+		ID:         "D9",
+		Where:      "§IV-C2 (2013 phishing count)",
+		Issue:      "Text says 18 phishing addresses; Table IX says 19.",
+		Resolution: "Table IX (19) is used — its rows sum to the stated totals.",
+	},
+	{
+		ID:    "D11",
+		Where: "Table V (2013, AA=1 row, Err column)",
+		Issue: "Printed Err 20.539% is Incorr/Total (78,279/381,124), not " +
+			"Incorr/W (78,279/231,368 = 33.83%) as defined under Table III and " +
+			"used by every other Err cell.",
+		Resolution: "Regenerated tables use the Table III definition; the " +
+			"printed value is reproduced in EXPERIMENTS.md with this note.",
+	},
+	{
+		ID:    "D10",
+		Where: "Table III vs §IV-C (2018 incorrect count)",
+		Issue: "§IV-C says 'wrong answer was provided in 110,093 packets' once; " +
+			"Table III and Table VII both say 111,093.",
+		Resolution: "111,093 is used (the tables are mutually consistent).",
+	},
+}

@@ -1,0 +1,144 @@
+package population
+
+import (
+	"fmt"
+
+	"openresolver/internal/geo"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/scan"
+)
+
+// Assigner hands out source addresses for resolvers, guaranteeing that
+// every assigned address lies in the scan universe (so the prober will
+// visit it) and is unique across the whole population.
+//
+// Country-pinned cohorts (the malicious resolvers with a geolocation
+// target) draw addresses from the geo registry's blocks, walking each
+// block's coset members in address order. Those addresses are reserved up
+// front, so the unpinned cohorts — assigned through a stride walk over the
+// universe's permutation positions, which is itself collision-free — can
+// simply skip them.
+//
+// Assignment is deterministic in (universe, registry, population order), so
+// the synthetic and simulation modes agree without storing millions of
+// addresses: only the country reservations (tens of thousands at full
+// scale) are materialized.
+type Assigner struct {
+	u   *scan.Universe
+	reg *geo.Registry
+
+	// avoid holds infrastructure plus all country-reserved addresses; the
+	// stride walk skips them. The walk itself is a bijection over
+	// universe positions, so unpinned assignments never self-collide.
+	avoid map[ipv4.Addr]bool
+
+	pos    uint64
+	stride uint64
+	issued uint64
+
+	// reserved holds each country's pre-generated address list and a
+	// cursor into it.
+	reserved map[string][]ipv4.Addr
+	taken    map[string]int
+}
+
+// NewAssigner builds an assigner for pop's cohorts. infra lists addresses
+// that must never be assigned (prober, root, TLD, authoritative server).
+func NewAssigner(u *scan.Universe, reg *geo.Registry, pop *Population, infra ...ipv4.Addr) (*Assigner, error) {
+	a := &Assigner{
+		u:     u,
+		reg:   reg,
+		avoid: make(map[ipv4.Addr]bool, len(infra)),
+		// A large odd stride decorrelates assignment order from probe
+		// order while remaining a bijection over the 2^k index ring.
+		stride:   2654435761,
+		reserved: make(map[string][]ipv4.Addr),
+		taken:    make(map[string]int),
+	}
+	for _, ip := range infra {
+		a.avoid[ip] = true
+	}
+	// Reserve country-pinned addresses up front, in cohort order.
+	need := make(map[string]uint64)
+	var order []string
+	for _, c := range pop.Cohorts {
+		if c.Country == "" {
+			continue
+		}
+		if _, seen := need[c.Country]; !seen {
+			order = append(order, c.Country)
+		}
+		need[c.Country] += c.Count
+	}
+	for _, country := range order {
+		addrs, err := a.reserveCountry(country, need[country])
+		if err != nil {
+			return nil, err
+		}
+		a.reserved[country] = addrs
+	}
+	return a, nil
+}
+
+// reserveCountry walks the country's blocks collecting n coset members.
+func (a *Assigner) reserveCountry(country string, n uint64) ([]ipv4.Addr, error) {
+	blocks := a.reg.CountryBlocks(country)
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("population: no geo allocation for %q", country)
+	}
+	step := uint64(1) << a.u.SampleShift()
+	residue := uint64(residueOf(a.u))
+	out := make([]ipv4.Addr, 0, n)
+	for _, alloc := range blocks {
+		b := alloc.Block
+		lo := uint64(b.First())
+		first := lo + (residue-lo)%step
+		for cur := first; cur <= uint64(b.Last()); cur += step {
+			addr := ipv4.Addr(cur)
+			if a.avoid[addr] || !a.u.Contains(addr) {
+				continue
+			}
+			a.avoid[addr] = true
+			out = append(out, addr)
+			if uint64(len(out)) == n {
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("population: country %q has only %d/%d coset addresses", country, len(out), n)
+}
+
+// Next returns the next source address for a resolver of the given cohort
+// country ("" = unconstrained).
+func (a *Assigner) Next(country string) (ipv4.Addr, error) {
+	if country != "" {
+		list := a.reserved[country]
+		i := a.taken[country]
+		if i >= len(list) {
+			return 0, fmt.Errorf("population: country %q reservation exhausted", country)
+		}
+		a.taken[country] = i + 1
+		return list[i], nil
+	}
+	n := a.u.Indexes()
+	if a.issued >= n {
+		return 0, fmt.Errorf("population: universe exhausted")
+	}
+	for a.issued < n {
+		idx := a.pos % n
+		a.pos += a.stride
+		a.issued++
+		addr, ok := a.u.At(idx)
+		if !ok || a.avoid[addr] {
+			continue
+		}
+		return addr, nil
+	}
+	return 0, fmt.Errorf("population: universe exhausted")
+}
+
+// residueOf recovers the universe's coset residue from any member address.
+func residueOf(u *scan.Universe) uint32 {
+	addr, _ := u.At(0)
+	return uint32(addr) & (1<<u.SampleShift() - 1)
+}

@@ -1,0 +1,482 @@
+package population
+
+import (
+	"fmt"
+	"math/rand"
+
+	"openresolver/internal/behavior"
+	"openresolver/internal/dist"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/paperdata"
+)
+
+// builder accumulates cohorts during full-scale construction.
+type builder struct {
+	cfg     Config
+	feed    feedSource
+	cohorts []Cohort
+	rng     *rand.Rand
+	used    map[ipv4.Addr]bool
+}
+
+// feedSource is the slice of threatintel.Feed the builder needs.
+type feedSource interface {
+	Addresses(cat paperdata.MalCategory) []ipv4.Addr
+}
+
+func (b *builder) build() error {
+	b.rng = rand.New(rand.NewSource(b.cfg.Seed ^ 0x706F70))
+	b.used = make(map[ipv4.Addr]bool)
+	y := b.cfg.Year
+
+	ra := paperdata.RATable[y]
+	aa := paperdata.ReconciledAA(y)
+
+	// ---- Correct class -------------------------------------------------
+	corrCells, err := joinCells(
+		[2]uint64{ra.Flag0.Correct, ra.Flag1.Correct},
+		[2]uint64{aa.Flag0.Correct, aa.Flag1.Correct})
+	if err != nil {
+		return fmt.Errorf("correct class: %w", err)
+	}
+	for i, n := range corrCells {
+		if n == 0 {
+			continue
+		}
+		b.emit(Cohort{
+			Count: n, Class: ClassCorrect,
+			Profile: behavior.Profile{
+				RA: flagCells[i].ra, AA: flagCells[i].aa,
+				Rcode: dnswire.RcodeNoError, Answer: behavior.AnswerTruth,
+				Upstream: 1, // calibrated later
+			},
+		})
+	}
+
+	// ---- Incorrect classes (malicious carved out first) -----------------
+	incorrCells, err := joinCells(
+		[2]uint64{ra.Flag0.Incorr, ra.Flag1.Incorr},
+		[2]uint64{aa.Flag0.Incorr, aa.Flag1.Incorr})
+	if err != nil {
+		return fmt.Errorf("incorrect class: %w", err)
+	}
+	malCells, err := b.maliciousCells(incorrCells)
+	if err != nil {
+		return err
+	}
+	nonmalCells := incorrCells
+	for i := range nonmalCells {
+		if malCells[i] > nonmalCells[i] {
+			return fmt.Errorf("population: malicious cell %d exceeds incorrect cell", i)
+		}
+		nonmalCells[i] -= malCells[i]
+	}
+	if err := b.buildMalicious(malCells); err != nil {
+		return err
+	}
+	if err := b.buildNonMalIncorrect(nonmalCells); err != nil {
+		return err
+	}
+
+	// ---- No-answer class -------------------------------------------------
+	noneCells, err := joinCells(
+		[2]uint64{ra.Flag0.Without, ra.Flag1.Without},
+		[2]uint64{aa.Flag0.Without, aa.Flag1.Without})
+	if err != nil {
+		return fmt.Errorf("no-answer class: %w", err)
+	}
+	if err := b.buildNoAnswer(noneCells); err != nil {
+		return err
+	}
+
+	// ---- Empty-question responders (2018) --------------------------------
+	if paperdata.Campaigns[y].R2EmptyQ > 0 {
+		if err := b.buildEmptyQuestion(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) emit(c Cohort) {
+	b.cohorts = append(b.cohorts, c)
+}
+
+// joinCells runs the northwest-corner join of one class's RA and AA
+// marginals and flattens the 2×2 result in flagCells order.
+func joinCells(rows, cols [2]uint64) ([4]uint64, error) {
+	m, err := dist.Transport(rows[:], cols[:])
+	if err != nil {
+		return [4]uint64{}, err
+	}
+	return [4]uint64{m[0][0], m[0][1], m[1][0], m[1][1]}, nil
+}
+
+// maliciousCells computes the malicious (RA, AA) cells: from Table X for
+// 2018; apportioned over the incorrect cells for 2013 (the paper gives no
+// 2013 flag breakdown).
+func (b *builder) maliciousCells(incorrCells [4]uint64) ([4]uint64, error) {
+	y := b.cfg.Year
+	total := paperdata.MaliciousTotals[y].R2
+	if y == paperdata.Y2018 {
+		mf := paperdata.MaliciousFlags2018
+		cells, err := joinCells([2]uint64{mf.RA0, mf.RA1}, [2]uint64{mf.AA0, mf.AA1})
+		if err != nil {
+			return [4]uint64{}, fmt.Errorf("malicious class: %w", err)
+		}
+		return cells, nil
+	}
+	alloc, err := dist.LargestRemainder(incorrCells[:], total)
+	if err != nil {
+		return [4]uint64{}, fmt.Errorf("malicious class: %w", err)
+	}
+	var out [4]uint64
+	copy(out[:], alloc)
+	return out, nil
+}
+
+// maliciousPayloadRuns builds the ordered (address, category) stream of
+// Table IX: named addresses carry their §IV-C1 counts; synthetic feed
+// addresses share the category remainder near-uniformly.
+func (b *builder) maliciousPayloadRuns() ([]run, error) {
+	y := b.cfg.Year
+	named := paperdata.NamedMalicious[y]
+	var runs []run
+	for _, cat := range paperdata.MalCategories {
+		want := paperdata.MaliciousTable[y][cat]
+		addrs := b.feed.Addresses(cat)
+		if uint64(len(addrs)) != want.IPs {
+			return nil, fmt.Errorf("population: feed has %d %s addresses, want %d", len(addrs), cat, want.IPs)
+		}
+		budget := want.R2
+		var tail []ipv4.Addr
+		for _, a := range addrs {
+			if n, ok := named[a.String()]; ok {
+				runs = append(runs, run{n: n, kind: behavior.AnswerFixed, addr: a, cat: cat})
+				budget -= n
+				b.used[a] = true
+				continue
+			}
+			tail = append(tail, a)
+		}
+		if len(tail) > 0 {
+			counts, err := dist.SpreadUnique(budget, len(tail))
+			if err != nil {
+				return nil, fmt.Errorf("population: %s spread: %w", cat, err)
+			}
+			for i, a := range tail {
+				runs = append(runs, run{n: counts[i], kind: behavior.AnswerFixed, addr: a, cat: cat})
+				b.used[a] = true
+			}
+		} else if budget != 0 {
+			return nil, fmt.Errorf("population: %s has budget %d with no addresses", cat, budget)
+		}
+	}
+	return runs, nil
+}
+
+// countryRuns builds the malicious-resolver placement stream.
+func countryRuns(y paperdata.Year) []run {
+	var runs []run
+	for _, g := range paperdata.MaliciousGeo[y] {
+		runs = append(runs, run{n: g.R2, country: g.Country})
+	}
+	return runs
+}
+
+// buildMalicious emits the malicious cohorts: fixed malicious answers,
+// NoError (§IV-C3), flags per Table X cells, placed per the geo
+// distribution.
+func (b *builder) buildMalicious(cells [4]uint64) error {
+	payload, err := b.maliciousPayloadRuns()
+	if err != nil {
+		return err
+	}
+	byCellPayload, err := splitStream(cells[:], payload)
+	if err != nil {
+		return fmt.Errorf("malicious payload: %w", err)
+	}
+	byCellCountry, err := splitStream(cells[:], countryRuns(b.cfg.Year))
+	if err != nil {
+		return fmt.Errorf("malicious countries: %w", err)
+	}
+	for i := range cells {
+		cell := flagCells[i]
+		err := zipRuns(byCellPayload[i], byCellCountry[i], func(p, c run, n uint64) {
+			b.emit(Cohort{
+				Count: n, Class: ClassMalicious,
+				Country:  c.country,
+				Category: p.cat,
+				Profile: behavior.Profile{
+					RA: cell.ra, AA: cell.aa,
+					Rcode:  dnswire.RcodeNoError,
+					Answer: behavior.AnswerFixed, Addr: p.addr,
+				},
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("malicious cell %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// nonMalPayloadRuns builds the ordered payload stream of the non-malicious
+// incorrect class: benign top-10 IPs, URL form, string form, the 2013 N/A
+// form, then the synthetic IP long tail.
+func (b *builder) nonMalPayloadRuns() ([]run, error) {
+	y := b.cfg.Year
+	var runs []run
+	for _, t := range paperdata.BenignTop10(y) {
+		addr := ipv4.MustParseAddr(t.Addr)
+		runs = append(runs, run{n: t.Count, kind: behavior.AnswerFixed, addr: addr})
+		b.used[addr] = true
+	}
+
+	forms := paperdata.IncorrectFormsByYear[y]
+	urlNames := syntheticNames("u.dcoin.co", "url%03d.redirect.example", int(forms.URL.Unique))
+	urlCounts, err := dist.SpreadUnique(forms.URL.Packets, len(urlNames))
+	if err != nil {
+		return nil, fmt.Errorf("url form: %w", err)
+	}
+	for i, name := range urlNames {
+		runs = append(runs, run{n: urlCounts[i], kind: behavior.AnswerCNAME, name: name})
+	}
+
+	strNamed := []string{"wild", "ff", "OK", "04b400000000"}
+	strUnique := int(paperdata.ReconciledStrUnique(y))
+	strNames := append([]string{}, strNamed...)
+	for i := len(strNames); i < strUnique; i++ {
+		strNames = append(strNames, fmt.Sprintf("str%02d", i))
+	}
+	strNames = strNames[:strUnique]
+	strCounts, err := dist.SpreadUnique(forms.Str.Packets, len(strNames))
+	if err != nil {
+		return nil, fmt.Errorf("string form: %w", err)
+	}
+	for i, name := range strNames {
+		runs = append(runs, run{n: strCounts[i], kind: behavior.AnswerTXT, name: name})
+	}
+
+	if forms.NA.Packets > 0 {
+		runs = append(runs, run{n: forms.NA.Packets, kind: behavior.AnswerMalformed})
+	}
+
+	tailPackets, tailUnique := paperdata.TailIPStats(y)
+	tailCounts, err := dist.SpreadUnique(tailPackets, int(tailUnique))
+	if err != nil {
+		return nil, fmt.Errorf("ip tail: %w", err)
+	}
+	reserved := ipv4.NewReservedBlocklist()
+	truthRange := ipv4.MustParseBlock("96.0.0.0/6")
+	for _, n := range tailCounts {
+		addr := b.syntheticTailAddr(reserved, truthRange)
+		runs = append(runs, run{n: n, kind: behavior.AnswerFixed, addr: addr})
+	}
+	return runs, nil
+}
+
+// syntheticTailAddr draws a fresh public address for the incorrect-IP long
+// tail: outside reserved space (so it is never a truthful private answer by
+// accident), outside the ground-truth range, and unused so Table VII's
+// unique counts hold.
+func (b *builder) syntheticTailAddr(reserved *ipv4.Blocklist, truthRange ipv4.Block) ipv4.Addr {
+	for {
+		a := ipv4.Addr(b.rng.Uint32())
+		if reserved.Contains(a) || truthRange.Contains(a) || b.used[a] {
+			continue
+		}
+		b.used[a] = true
+		return a
+	}
+}
+
+// syntheticNames produces unique names led by a paper-named example.
+func syntheticNames(first, format string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	out = append(out, first)
+	for i := 1; i < n; i++ {
+		out = append(out, fmt.Sprintf(format, i))
+	}
+	return out
+}
+
+// nonZeroWithRcodes returns the reconciled nonzero with-answer rcode
+// counts in rcode order.
+func nonZeroWithRcodes(y paperdata.Year) []run {
+	rc := paperdata.ReconciledRcode(y)
+	var runs []run
+	for code := 1; code < 10; code++ {
+		if rc.With[code] > 0 {
+			runs = append(runs, run{n: rc.With[code], rcode: dnswire.Rcode(code)})
+		}
+	}
+	return runs
+}
+
+// buildNonMalIncorrect emits the non-malicious incorrect cohorts: payloads
+// streamed across the flag cells, nonzero rcodes layered by capacity with
+// NoError filling the rest.
+func (b *builder) buildNonMalIncorrect(cells [4]uint64) error {
+	payload, err := b.nonMalPayloadRuns()
+	if err != nil {
+		return err
+	}
+	if got, want := totalRuns(payload), cells[0]+cells[1]+cells[2]+cells[3]; got != want {
+		return fmt.Errorf("population: non-mal payload %d != cells %d", got, want)
+	}
+	byCellPayload, err := splitStream(cells[:], payload)
+	if err != nil {
+		return fmt.Errorf("non-mal payload: %w", err)
+	}
+
+	// rcode allocation: nonzero rcodes spread by capacity, NoError fills.
+	capacity := append([]uint64(nil), cells[:]...)
+	perCell := make([][]run, 4)
+	for _, rz := range nonZeroWithRcodes(b.cfg.Year) {
+		alloc, err := fillByCapacity(capacity, rz.n)
+		if err != nil {
+			return fmt.Errorf("rcode %v: %w", rz.rcode, err)
+		}
+		for i, n := range alloc {
+			if n > 0 {
+				perCell[i] = append(perCell[i], run{n: n, rcode: rz.rcode})
+			}
+		}
+	}
+	for i, rem := range capacity {
+		if rem > 0 {
+			// Prepend NoError so the nonzero rcodes land on the tail of the
+			// payload stream (the long-tail IPs), keeping the named top-10
+			// answers NoError as the paper observes for the malicious ones.
+			perCell[i] = append([]run{{n: rem, rcode: dnswire.RcodeNoError}}, perCell[i]...)
+		}
+	}
+
+	for i := range cells {
+		cell := flagCells[i]
+		err := zipRuns(byCellPayload[i], perCell[i], func(p, rc run, n uint64) {
+			b.emit(Cohort{
+				Count: n, Class: ClassIncorrect,
+				Profile: behavior.Profile{
+					RA: cell.ra, AA: cell.aa,
+					Rcode:  rc.rcode,
+					Answer: p.kind, Addr: p.addr, Name: p.name,
+				},
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("incorrect cell %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// buildNoAnswer emits the no-answer cohorts with Table VI's W/O rcodes
+// layered across the flag cells.
+func (b *builder) buildNoAnswer(cells [4]uint64) error {
+	rc := paperdata.ReconciledRcode(b.cfg.Year)
+	capacity := append([]uint64(nil), cells[:]...)
+	perCell := make([][]run, 4)
+	for code := 0; code < 10; code++ {
+		if rc.Without[code] == 0 {
+			continue
+		}
+		alloc, err := fillByCapacity(capacity, rc.Without[code])
+		if err != nil {
+			return fmt.Errorf("no-answer rcode %d: %w", code, err)
+		}
+		for i, n := range alloc {
+			if n > 0 {
+				perCell[i] = append(perCell[i], run{n: n, rcode: dnswire.Rcode(code)})
+			}
+		}
+	}
+	for i, rem := range capacity {
+		if rem != 0 {
+			return fmt.Errorf("no-answer cell %d under-filled by %d", i, rem)
+		}
+		cell := flagCells[i]
+		for _, r := range perCell[i] {
+			b.emit(Cohort{
+				Count: r.n, Class: ClassNoAnswer,
+				Profile: behavior.Profile{
+					RA: cell.ra, AA: cell.aa,
+					Rcode:  r.rcode,
+					Answer: behavior.AnswerNone,
+				},
+			})
+		}
+	}
+	return nil
+}
+
+// buildEmptyQuestion emits the §IV-B4 cohorts (2018): responses with no
+// question section.
+func (b *builder) buildEmptyQuestion() error {
+	e := paperdata.ReconciledEmptyQuestion()
+
+	mk := func(count uint64, ra, aa bool, rcode dnswire.Rcode, kind behavior.AnswerKind, addr ipv4.Addr, name string) {
+		if count == 0 {
+			return
+		}
+		b.emit(Cohort{
+			Count: count, Class: ClassEmptyQuestion,
+			Profile: behavior.Profile{
+				RA: ra, AA: aa, Rcode: rcode,
+				Answer: kind, Addr: addr, Name: name,
+				OmitQuestion: true,
+			},
+		})
+	}
+
+	// The 19 with-answer packets: all RA=1, rcode NoError; one of them has
+	// AA=1 (the single with-answer AA1 packet of the section).
+	mk(1, true, true, dnswire.RcodeNoError, behavior.AnswerFixed, ipv4.MustParseAddr("192.168.0.1"), "")
+	for i := uint64(1); i < e.Private192; i++ {
+		mk(1, true, false, dnswire.RcodeNoError, behavior.AnswerFixed,
+			ipv4.MustParseAddr("192.168.0.1")+ipv4.Addr(i*256), "")
+	}
+	mk(e.Private10, true, false, dnswire.RcodeNoError, behavior.AnswerFixed, ipv4.MustParseAddr("10.1.1.1"), "")
+	mk(e.BadFormat, true, false, dnswire.RcodeNoError, behavior.AnswerTXT, 0, "0000")
+	for i := uint64(0); i < e.Unroutable; i++ {
+		mk(1, true, false, dnswire.RcodeNoError, behavior.AnswerFixed,
+			ipv4.MustParseAddr("240.10.0.1")+ipv4.Addr(i), "")
+	}
+
+	// No-answer packets: the remaining RA1 (165, one with AA=1), then RA0.
+	// rcode stream: whatever NoError remains after the with-answer packets,
+	// then the error codes.
+	var rcodeRuns []run
+	if e.Rcodes[0] > e.WithAnswer {
+		rcodeRuns = append(rcodeRuns, run{n: e.Rcodes[0] - e.WithAnswer, rcode: dnswire.RcodeNoError})
+	}
+	for code := 1; code < 10; code++ {
+		if e.Rcodes[code] > 0 {
+			rcodeRuns = append(rcodeRuns, run{n: e.Rcodes[code], rcode: dnswire.Rcode(code)})
+		}
+	}
+	ra1Rest := e.RA1 - e.WithAnswer
+	segs, err := splitStream([]uint64{ra1Rest, e.RA0}, rcodeRuns)
+	if err != nil {
+		return fmt.Errorf("empty-question rcodes: %w", err)
+	}
+	aa1Left := true // one no-answer packet carries AA=1
+	for si, seg := range segs {
+		ra := si == 0
+		for _, r := range seg {
+			n := r.n
+			if aa1Left && ra && n > 0 {
+				mk(1, ra, true, r.rcode, behavior.AnswerNone, 0, "")
+				n--
+				aa1Left = false
+			}
+			mk(n, ra, false, r.rcode, behavior.AnswerNone, 0, "")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"openresolver/internal/dist"
+)
+
+// Mix blends two compiled populations: the result carries round((1-w)·|a|)
+// resolvers drawn proportionally from a's cohorts and round(w·|b|) from
+// b's. It is the model behind the drift-monitoring extension (paper §V):
+// the open-resolver ecosystem between the 2013 and 2018 snapshots is
+// approximated by linear interpolation of the two measured populations.
+//
+// The blend preserves each side's internal structure exactly (flags,
+// rcodes, payloads, countries, upstream plans scale together), so every
+// analysis table remains well-defined on the mixture.
+func Mix(a, b *Population, w float64) (*Population, error) {
+	if w < 0 || w > 1 {
+		return nil, fmt.Errorf("population: mix weight %v out of [0,1]", w)
+	}
+	if a.Shift != b.Shift {
+		return nil, fmt.Errorf("population: mixing different scales (%d vs %d)", a.Shift, b.Shift)
+	}
+	out := &Population{
+		// The mixture is labeled with the later year's campaign model; the
+		// label only affects report headings.
+		Year:  b.Year,
+		Shift: a.Shift,
+		Feed:  b.Feed,
+	}
+	appendScaled := func(src *Population, weight float64) error {
+		if weight == 0 {
+			return nil
+		}
+		counts := make([]uint64, len(src.Cohorts))
+		for i, c := range src.Cohorts {
+			counts[i] = c.Count
+		}
+		target := uint64(math.Round(float64(src.ExpectedR2) * weight))
+		scaled, err := dist.LargestRemainder(counts, target)
+		if err != nil {
+			return err
+		}
+		for i, c := range src.Cohorts {
+			if scaled[i] == 0 {
+				continue
+			}
+			c.Count = scaled[i]
+			out.Cohorts = append(out.Cohorts, c)
+		}
+		return nil
+	}
+	if err := appendScaled(a, 1-w); err != nil {
+		return nil, err
+	}
+	if err := appendScaled(b, w); err != nil {
+		return nil, err
+	}
+	for _, c := range out.Cohorts {
+		out.ExpectedR2 += c.Count
+		out.ExpectedQ2 += c.Count * uint64(c.Profile.Upstream)
+	}
+	return out, nil
+}

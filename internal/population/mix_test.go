@@ -1,0 +1,84 @@
+package population
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"openresolver/internal/paperdata"
+)
+
+func TestMixEndpoints(t *testing.T) {
+	a, u := buildScaled(t, paperdata.Y2013, 10)
+	_ = u
+	b, err := Build(Config{Year: paperdata.Y2018, SampleShift: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure13, err := Mix(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure13.ExpectedR2 != a.ExpectedR2 {
+		t.Errorf("w=0: R2 = %d, want %d", pure13.ExpectedR2, a.ExpectedR2)
+	}
+	pure18, err := Mix(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure18.ExpectedR2 != b.ExpectedR2 {
+		t.Errorf("w=1: R2 = %d, want %d", pure18.ExpectedR2, b.ExpectedR2)
+	}
+	if pure18.ExpectedQ2 != b.ExpectedQ2 {
+		t.Errorf("w=1: Q2 = %d, want %d", pure18.ExpectedQ2, b.ExpectedQ2)
+	}
+}
+
+func TestMixPropertyTotals(t *testing.T) {
+	a, _ := buildScaled(t, paperdata.Y2013, 12)
+	b, err := Build(Config{Year: paperdata.Y2018, SampleShift: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(wRaw uint8) bool {
+		w := float64(wRaw) / 255
+		m, err := Mix(a, b, w)
+		if err != nil {
+			return false
+		}
+		want := uint64(math.Round(float64(a.ExpectedR2)*(1-w))) +
+			uint64(math.Round(float64(b.ExpectedR2)*w))
+		if m.ExpectedR2 != want {
+			return false
+		}
+		// Class structure survives: every cohort class appears in a or b.
+		var q2 uint64
+		for _, c := range m.Cohorts {
+			if c.Count == 0 {
+				return false
+			}
+			q2 += c.Count * uint64(c.Profile.Upstream)
+		}
+		return q2 == m.ExpectedQ2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	a, _ := buildScaled(t, paperdata.Y2013, 12)
+	b, err := Build(Config{Year: paperdata.Y2018, SampleShift: 11, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mix(a, b, 0.5); err == nil {
+		t.Error("mixed scales accepted")
+	}
+	if _, err := Mix(a, a, -0.1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Mix(a, a, 1.1); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+}

@@ -1,0 +1,330 @@
+// Package prober implements the measurement system of §III: a modified
+// ZMap that walks the scan universe in pseudorandom order at a configured
+// packet rate, assigns each probe a unique subdomain from the two-tier
+// cluster structure (Fig. 3), collects R2 responses, and reuses the
+// subdomains that drew no response — the optimization that reduced the
+// clusters needed from a theoretical 800 to 4 (§III-B).
+package prober
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"openresolver/internal/capture"
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/dnswire"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+	"openresolver/internal/scan"
+)
+
+// Config parameterizes a probing campaign.
+type Config struct {
+	// Addr is the prober's source address.
+	Addr ipv4.Addr
+	// Universe supplies the candidate addresses in probe order.
+	Universe *scan.Universe
+	// SLD is the controlled second-level domain.
+	SLD string
+	// ClusterSize is the number of subdomains per cluster.
+	ClusterSize int
+	// PacketsPerSec is the probe rate in virtual time.
+	PacketsPerSec uint64
+	// Timeout is how long a subdomain stays reserved before it is deemed
+	// unanswered and returned to the pool for reuse.
+	Timeout time.Duration
+	// SendSkip is the probability a probe is never transmitted (models the
+	// 2013 C-based prober's send shortfall, paperdata discrepancy D2).
+	SendSkip float64
+	// DisableReuse turns off subdomain reuse (§III-B) for ablation: every
+	// probe then consumes a fresh subdomain and the campaign needs the
+	// theoretical number of clusters (~800 at full scale) instead of ~4.
+	DisableReuse bool
+	// Auth, when set, has its cluster rotated in lockstep with the
+	// prober's subdomain clusters.
+	Auth *dnssrv.AuthServer
+	// Log captures Q1 counts and R2 packets.
+	Log *capture.ProbeLog
+	// Skip marks addresses never to probe (the measurement's own
+	// infrastructure).
+	Skip func(ipv4.Addr) bool
+	// OnDone fires once when the campaign completes (queue drained).
+	OnDone func(*Prober)
+}
+
+// Prober is the scanning host.
+type Prober struct {
+	cfg  Config
+	node *netsim.Node
+	it   *scan.Iterator
+
+	srcPort uint16
+	nextID  uint16
+
+	// Subdomain pool for the active cluster.
+	cluster int
+	avail   []int // free subdomain indices (LIFO)
+	burned  map[int]bool
+	pending []pendingName // FIFO; deadlines are monotone
+
+	pauseUntil time.Duration
+	exhausted  bool
+	done       bool
+	start      time.Duration
+	finishedAt time.Duration
+	// tokens implements the send-rate budget: PacketsPerSec×tick credited
+	// per tick, one consumed per probe. Fractional rates accumulate.
+	tokens float64
+
+	// Counters.
+	sent     uint64
+	skipped  uint64
+	received uint64
+	reused   uint64
+
+	// sendTimes tracks outstanding probes' send instants (keyed by qname)
+	// for response-latency measurement; entries are dropped on response or
+	// timeout sweep.
+	sendTimes map[string]time.Duration
+	latencies []time.Duration
+}
+
+type pendingName struct {
+	idx      int
+	cluster  int
+	deadline time.Duration
+}
+
+// tickInterval is the batch cadence of the send loop.
+const tickInterval = 10 * time.Millisecond
+
+// Start registers the prober and begins the campaign immediately.
+func Start(sim *netsim.Sim, cfg Config) (*Prober, error) {
+	if cfg.Universe == nil {
+		return nil, fmt.Errorf("prober: universe required")
+	}
+	if cfg.ClusterSize <= 0 {
+		return nil, fmt.Errorf("prober: cluster size must be positive")
+	}
+	if cfg.PacketsPerSec == 0 {
+		return nil, fmt.Errorf("prober: packet rate must be positive")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = capture.NewProbeLog()
+	}
+	p := &Prober{
+		cfg:       cfg,
+		it:        cfg.Universe.Iterate(),
+		srcPort:   40000,
+		nextID:    1,
+		burned:    make(map[int]bool),
+		sendTimes: make(map[string]time.Duration),
+	}
+	p.node = sim.Register(cfg.Addr, p)
+	p.start = p.node.Now()
+	p.refillCluster(0)
+	p.node.After(0, p.tick)
+	return p, nil
+}
+
+// refillCluster switches the subdomain pool (and the authoritative zone) to
+// cluster c.
+func (p *Prober) refillCluster(c int) {
+	p.cluster = c
+	p.avail = p.avail[:0]
+	for i := p.cfg.ClusterSize - 1; i >= 0; i-- {
+		p.avail = append(p.avail, i)
+	}
+	p.burned = make(map[int]bool)
+	if p.cfg.Auth != nil && c > 0 {
+		p.cfg.Auth.SetCluster(c)
+		// §III-B: loading 5M subdomains takes about a minute; the prober
+		// waits out the zone load before resuming.
+		p.pauseUntil = p.node.Now() + paperReloadPause
+	}
+}
+
+// paperReloadPause mirrors dnssrv's reload window; kept as a constant here
+// so the prober does not reach into the server's internals.
+const paperReloadPause = time.Minute
+
+// ClustersUsed returns how many clusters the campaign has consumed so far
+// (the §III-B "800 theoretical → 4 actual" metric).
+func (p *Prober) ClustersUsed() int { return p.cluster + 1 }
+
+// Sent returns the number of probes transmitted (Q1).
+func (p *Prober) Sent() uint64 { return p.sent }
+
+// Skipped returns probes suppressed by the SendSkip model.
+func (p *Prober) Skipped() uint64 { return p.skipped }
+
+// Received returns the number of R2 packets collected.
+func (p *Prober) Received() uint64 { return p.received }
+
+// Reused returns how many subdomains were returned to the pool after
+// drawing no response.
+func (p *Prober) Reused() uint64 { return p.reused }
+
+// Done reports campaign completion.
+func (p *Prober) Done() bool { return p.done }
+
+// Duration returns the campaign's virtual duration (valid once done).
+func (p *Prober) Duration() time.Duration { return p.finishedAt - p.start }
+
+// tick runs one batch of the send loop.
+func (p *Prober) tick() {
+	if p.done {
+		return
+	}
+	now := p.node.Now()
+	p.sweep(now)
+
+	// Proactive cluster rotation: when the in-flight set has drained and
+	// most of the pool is burned, loading a fresh cluster beats crawling on
+	// the remnant — the discipline that puts the paper's campaign at 4
+	// clusters rather than waiting out every last name.
+	if !p.exhausted && len(p.pending) == 0 && len(p.burned) > p.cfg.ClusterSize*3/4 {
+		p.refillCluster(p.cluster + 1)
+	}
+
+	if now >= p.pauseUntil {
+		p.tokens += float64(p.cfg.PacketsPerSec) * tickInterval.Seconds()
+		if max := float64(p.cfg.PacketsPerSec); p.tokens > max+1 {
+			p.tokens = max + 1 // cap the burst to one second of budget
+		}
+		for p.tokens >= 1 {
+			if !p.sendOne(now) {
+				break
+			}
+			p.tokens--
+		}
+	}
+
+	if p.exhausted && len(p.pending) == 0 {
+		p.done = true
+		p.finishedAt = p.node.Now()
+		if p.cfg.OnDone != nil {
+			p.cfg.OnDone(p)
+		}
+		return
+	}
+	p.node.After(tickInterval, p.tick)
+}
+
+// sweep returns timed-out subdomains to the pool (subdomain reuse, §III-B).
+func (p *Prober) sweep(now time.Duration) {
+	i := 0
+	for ; i < len(p.pending); i++ {
+		pn := p.pending[i]
+		if pn.deadline > now {
+			break
+		}
+		if !p.cfg.DisableReuse && pn.cluster == p.cluster && !p.burned[pn.idx] {
+			p.avail = append(p.avail, pn.idx)
+			p.reused++
+		}
+		delete(p.sendTimes, dnssrv.FormatProbeName(pn.cluster, pn.idx, p.cfg.SLD))
+	}
+	p.pending = p.pending[i:]
+}
+
+// sendOne transmits the next probe; it returns false when the batch should
+// stop (universe exhausted or no subdomains available).
+func (p *Prober) sendOne(now time.Duration) bool {
+	if len(p.avail) == 0 {
+		if len(p.pending) > 0 {
+			// Pool exhausted but names may return after timeouts: stall.
+			return false
+		}
+		p.refillCluster(p.cluster + 1)
+		return false // resume next tick (possibly after the reload pause)
+	}
+	var target ipv4.Addr
+	for {
+		a, ok := p.it.Next()
+		if !ok {
+			p.exhausted = true
+			return false
+		}
+		if p.cfg.Skip != nil && p.cfg.Skip(a) {
+			continue
+		}
+		target = a
+		break
+	}
+	if p.cfg.SendSkip > 0 && p.node.Rand().Float64() < p.cfg.SendSkip {
+		p.skipped++
+		return true
+	}
+
+	idx := p.avail[len(p.avail)-1]
+	p.avail = p.avail[:len(p.avail)-1]
+	qname := dnssrv.FormatProbeName(p.cluster, idx, p.cfg.SLD)
+	q := dnswire.NewQuery(p.nextID, qname, dnswire.TypeA)
+	p.nextID++
+	if p.nextID == 0 {
+		p.nextID = 1
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return true
+	}
+	p.node.Send(target, p.srcPort, dnssrv.DNSPort, wire)
+	p.sent++
+	p.cfg.Log.CountQ1(1)
+	p.sendTimes[qname] = now
+	p.pending = append(p.pending, pendingName{idx: idx, cluster: p.cluster, deadline: now + p.cfg.Timeout})
+	return true
+}
+
+// Latencies returns the response latencies observed so far (probe send to
+// R2 arrival), in arrival order.
+func (p *Prober) Latencies() []time.Duration {
+	return append([]time.Duration(nil), p.latencies...)
+}
+
+// LatencyPercentiles returns the given percentiles (0-100) of the observed
+// response latencies, or nil when nothing was measured.
+func (p *Prober) LatencyPercentiles(pcts ...float64) []time.Duration {
+	if len(p.latencies) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), p.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]time.Duration, len(pcts))
+	for i, pct := range pcts {
+		idx := int(pct / 100 * float64(len(sorted)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+// HandleDatagram implements netsim.Host: every inbound packet on the probe
+// port is a candidate R2.
+func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
+	p.received++
+	p.cfg.Log.AddR2(n.Now(), dg)
+	// Burn the subdomain so it is never reused (it may now be cached at
+	// the responding resolver) and record the response latency.
+	if msg, err := dnswire.Unpack(dg.Payload); err == nil {
+		if q, ok := msg.Question1(); ok {
+			if sent, ok := p.sendTimes[q.Name]; ok {
+				p.latencies = append(p.latencies, n.Now()-sent)
+				delete(p.sendTimes, q.Name)
+			}
+			if pn, err := dnssrv.ParseProbeName(q.Name, p.cfg.SLD); err == nil && pn.Cluster == p.cluster {
+				p.burned[pn.Index] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package scan_test
+
+import (
+	"fmt"
+
+	"openresolver/internal/ipv4"
+	"openresolver/internal/scan"
+)
+
+func ExampleUniverse() {
+	// A 1/2^20 systematic sample of the IPv4 space, excluding the RFC
+	// blocks of Table I, in ZMap-style pseudorandom order.
+	u, _ := scan.NewUniverse(42, 20, ipv4.NewReservedBlocklist())
+	it := u.Iterate()
+	var probes int
+	for {
+		addr, ok := it.Next()
+		if !ok {
+			break
+		}
+		_ = addr
+		probes++
+	}
+	fmt.Println(probes == int(u.AllowedCount()))
+	// Output: true
+}

@@ -1,0 +1,218 @@
+// Package scan implements the address-generation core of an Internet-wide
+// scanner in the style of ZMap (Durumeric et al., USENIX Security 2013),
+// which the paper modified for its probing system.
+//
+// ZMap iterates a cyclic permutation of the IPv4 space so that probes arrive
+// at any given network in pseudorandom order (spreading load) while still
+// covering every address exactly once, statelessly. We obtain the same
+// properties with a keyed Feistel permutation over the index space: it is a
+// bijection, needs no per-address state, and any position is addressable in
+// O(1) — which additionally lets the population compiler place simulated
+// resolvers at addresses the scanner is guaranteed to visit.
+//
+// For memory-bounded simulation runs the Universe supports systematic
+// sampling: with SampleShift s it scans exactly the coset
+// {ip : ip ≡ residue (mod 2^s)}, a uniform 1/2^s sample of the IPv4 space,
+// still in pseudorandom order and still honoring the Table I exclusions.
+package scan
+
+import (
+	"fmt"
+
+	"openresolver/internal/ipv4"
+)
+
+// Permutation is a keyed bijection on [0, 2^Bits) built from a balanced
+// Feistel network with cycle walking. It is deterministic in (bits, seed).
+type Permutation struct {
+	bits   uint8
+	half   uint8  // bits per Feistel half (ceil(bits/2))
+	mask   uint64 // 2^bits - 1
+	hmask  uint64 // 2^half - 1
+	keys   [feistelRounds]uint64
+	domain uint64 // 2^bits
+}
+
+const feistelRounds = 6
+
+// NewPermutation returns the permutation on [0, 2^bits) keyed by seed.
+// bits must be in [1, 32].
+func NewPermutation(bits uint8, seed uint64) (*Permutation, error) {
+	if bits < 1 || bits > 32 {
+		return nil, fmt.Errorf("scan: bits %d out of range [1,32]", bits)
+	}
+	p := &Permutation{
+		bits:   bits,
+		half:   (bits + 1) / 2,
+		mask:   1<<bits - 1,
+		domain: 1 << bits,
+	}
+	p.hmask = 1<<p.half - 1
+	s := seed
+	for i := range p.keys {
+		s = splitmix64(s)
+		p.keys[i] = s
+	}
+	return p, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer; a fast, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Size returns the domain size 2^bits.
+func (p *Permutation) Size() uint64 { return p.domain }
+
+// feistel applies the Feistel rounds on the doubled domain [0, 2^(2*half)).
+func (p *Permutation) feistel(x uint64) uint64 {
+	l := x >> p.half & p.hmask
+	r := x & p.hmask
+	for _, k := range p.keys {
+		l, r = r, l^(splitmix64(r^k)&p.hmask)
+	}
+	return l<<p.half | r
+}
+
+// Apply maps x through the permutation. x must be < Size(); values outside
+// the domain are reduced modulo Size() to keep the function total.
+func (p *Permutation) Apply(x uint64) uint64 {
+	x &= p.mask
+	// Cycle-walk: the Feistel network permutes [0, 2^(2*half)), which may be
+	// up to twice the domain; re-apply until the value lands inside.
+	// Expected iterations < 2 since at least half the larger domain maps in.
+	for {
+		x = p.feistel(x)
+		if x <= p.mask {
+			return x
+		}
+	}
+}
+
+// Universe is the set of addresses one campaign scans: the sampling coset of
+// the IPv4 space minus the exclusion blocklist, visited in the pseudorandom
+// order of a keyed permutation.
+type Universe struct {
+	perm *Permutation
+	// shift selects a 1/2^shift systematic sample; 0 scans everything.
+	shift   uint8
+	residue uint32
+	excl    *ipv4.Blocklist
+}
+
+// NewUniverse builds a scan universe.
+//   - seed keys the probe-order permutation;
+//   - sampleShift picks the 1/2^sampleShift systematic sample (0 = full scan);
+//   - excl is the exclusion blocklist (nil means no exclusions).
+func NewUniverse(seed uint64, sampleShift uint8, excl *ipv4.Blocklist) (*Universe, error) {
+	if sampleShift > 30 {
+		return nil, fmt.Errorf("scan: sample shift %d too large", sampleShift)
+	}
+	perm, err := NewPermutation(32-sampleShift, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Universe{
+		perm:  perm,
+		shift: sampleShift,
+		// The residue is derived from the seed so distinct campaigns sample
+		// distinct cosets, but deterministically.
+		residue: uint32(splitmix64(seed^0xC05E7) & (1<<sampleShift - 1)),
+		excl:    excl,
+	}, nil
+}
+
+// SampleShift returns the configured sampling shift.
+func (u *Universe) SampleShift() uint8 { return u.shift }
+
+// Indexes returns the number of candidate positions (coset size).
+func (u *Universe) Indexes() uint64 { return u.perm.Size() }
+
+// At returns the candidate address at permuted position idx, and whether it
+// is eligible for probing (not excluded). idx must be < Indexes().
+func (u *Universe) At(idx uint64) (ipv4.Addr, bool) {
+	a := ipv4.Addr(uint32(u.perm.Apply(idx))<<u.shift | u.residue)
+	if u.excl != nil && u.excl.Contains(a) {
+		return a, false
+	}
+	return a, true
+}
+
+// Contains reports whether addr belongs to this universe (right coset
+// residue and not excluded).
+func (u *Universe) Contains(addr ipv4.Addr) bool {
+	if uint32(addr)&(1<<u.shift-1) != u.residue {
+		return false
+	}
+	return u.excl == nil || !u.excl.Contains(addr)
+}
+
+// AllowedCount returns the exact number of probe-eligible addresses in the
+// universe, computed analytically from the exclusion intervals (no scan).
+func (u *Universe) AllowedCount() uint64 {
+	total := u.perm.Size()
+	if u.excl == nil {
+		return total
+	}
+	var excluded uint64
+	step := uint64(1) << u.shift
+	for i := 0; i < u.excl.Intervals(); i++ {
+		los, his := u.excl.Interval(i)
+		lo, hi := uint64(los), uint64(his)
+		// First coset member >= lo.
+		r := uint64(u.residue)
+		first := lo + (r-lo)%step
+		if first < lo { // wrapped (r < lo mod step)
+			first += step
+		}
+		if first > hi {
+			continue
+		}
+		excluded += (hi-first)/step + 1
+	}
+	return total - excluded
+}
+
+// Iterator walks the universe in probe order, optionally sharded: shard s of
+// n visits positions s, s+n, s+2n, … permitting parallel senders exactly as
+// ZMap shards do.
+type Iterator struct {
+	u        *Universe
+	pos, end uint64
+	step     uint64
+}
+
+// Iterate returns an iterator over the whole universe (one shard).
+func (u *Universe) Iterate() *Iterator { return u.Shard(0, 1) }
+
+// Shard returns an iterator over shard i of n.
+func (u *Universe) Shard(i, n uint64) *Iterator {
+	if n == 0 {
+		n = 1
+	}
+	return &Iterator{u: u, pos: i % n, end: u.perm.Size(), step: n}
+}
+
+// Next returns the next probe-eligible address. ok is false when the shard
+// is exhausted. Excluded candidates are skipped internally.
+func (it *Iterator) Next() (addr ipv4.Addr, ok bool) {
+	for it.pos < it.end {
+		a, eligible := it.u.At(it.pos)
+		it.pos += it.step
+		if eligible {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Remaining returns an upper bound on candidates left (including excluded).
+func (it *Iterator) Remaining() uint64 {
+	if it.pos >= it.end {
+		return 0
+	}
+	return (it.end - it.pos + it.step - 1) / it.step
+}

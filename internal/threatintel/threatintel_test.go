@@ -1,0 +1,175 @@
+package threatintel
+
+import (
+	"strings"
+	"testing"
+
+	"openresolver/internal/ipv4"
+	"openresolver/internal/paperdata"
+)
+
+func TestFeedMatchesTableIXUniqueCounts(t *testing.T) {
+	for _, y := range []paperdata.Year{paperdata.Y2013, paperdata.Y2018} {
+		f := NewFeed(y, 42)
+		var total int
+		for _, cat := range paperdata.MalCategories {
+			want := int(paperdata.MaliciousTable[y][cat].IPs)
+			got := len(f.ByCategory[cat])
+			if got != want {
+				t.Errorf("%d %s: %d addresses, want %d", y, cat, got, want)
+			}
+			total += got
+		}
+		if uint64(total) != paperdata.MaliciousTotals[y].IPs {
+			t.Errorf("%d: total %d, want %d", y, total, paperdata.MaliciousTotals[y].IPs)
+		}
+		if f.DB.Len() != total {
+			t.Errorf("%d: DB has %d records, want %d (no cross-category dupes)", y, f.DB.Len(), total)
+		}
+	}
+}
+
+func TestDominantCategoryStable(t *testing.T) {
+	for _, y := range []paperdata.Year{paperdata.Y2013, paperdata.Y2018} {
+		f := NewFeed(y, 42)
+		for cat, addrs := range f.ByCategory {
+			for _, a := range addrs {
+				rec, ok := f.DB.Lookup(a)
+				if !ok {
+					t.Fatalf("%d: %v missing", y, a)
+				}
+				if got := rec.Dominant(); got != cat {
+					t.Errorf("%d: %v dominant = %s, want %s", y, a, got, cat)
+				}
+			}
+		}
+	}
+}
+
+func TestNamedAddressesPresent(t *testing.T) {
+	f := NewFeed(paperdata.Y2018, 1)
+	for name := range paperdata.NamedMalicious[paperdata.Y2018] {
+		rec, ok := f.DB.Lookup(ipv4.MustParseAddr(name))
+		if !ok {
+			t.Errorf("named address %s missing from feed", name)
+			continue
+		}
+		if rec.Dominant() != paperdata.CatMalware {
+			t.Errorf("%s dominant = %s, want Malware", name, rec.Dominant())
+		}
+	}
+}
+
+func TestFig4Record(t *testing.T) {
+	f := NewFeed(paperdata.Y2018, 1)
+	addr := ipv4.MustParseAddr("208.91.197.91")
+	rec, ok := f.DB.Lookup(addr)
+	if !ok {
+		t.Fatal("208.91.197.91 missing")
+	}
+	cats := map[paperdata.MalCategory]bool{}
+	sources := map[string]bool{}
+	for _, r := range rec.Reports {
+		cats[r.Category] = true
+		sources[r.Source] = true
+	}
+	for _, want := range []paperdata.MalCategory{paperdata.CatMalware, paperdata.CatPhishing, paperdata.CatBotnet} {
+		if !cats[want] {
+			t.Errorf("Fig. 4 record missing category %s", want)
+		}
+	}
+	if !sources["Ransomware Tracker"] {
+		t.Error("Fig. 4 record missing Ransomware Tracker report")
+	}
+	if rec.Dominant() != paperdata.CatMalware {
+		t.Errorf("dominant = %s", rec.Dominant())
+	}
+	sum := f.Summary(addr)
+	if !strings.Contains(sum, "Malware") || !strings.Contains(sum, "dominant=Malware") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestFeedDeterministic(t *testing.T) {
+	a := NewFeed(paperdata.Y2018, 7)
+	b := NewFeed(paperdata.Y2018, 7)
+	aa, ba := a.DB.Addrs(), b.DB.Addrs()
+	if len(aa) != len(ba) {
+		t.Fatal("lengths differ")
+	}
+	for i := range aa {
+		if aa[i] != ba[i] {
+			t.Fatalf("address %d differs: %v vs %v", i, aa[i], ba[i])
+		}
+	}
+	c := NewFeed(paperdata.Y2018, 8)
+	ca := c.DB.Addrs()
+	diff := 0
+	cm := map[ipv4.Addr]bool{}
+	for _, x := range ca {
+		cm[x] = true
+	}
+	for _, x := range aa {
+		if !cm[x] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical synthetic addresses")
+	}
+}
+
+func TestSyntheticAddressesArePublic(t *testing.T) {
+	reserved := ipv4.NewReservedBlocklist()
+	f := NewFeed(paperdata.Y2018, 3)
+	for _, a := range f.DB.Addrs() {
+		if reserved.Contains(a) {
+			t.Errorf("synthetic malicious address %v is reserved", a)
+		}
+	}
+}
+
+func TestLookupMissAndCopy(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.Lookup(ipv4.MustParseAddr("9.9.9.9")); ok {
+		t.Error("empty DB returned a record")
+	}
+	addr := ipv4.MustParseAddr("1.2.3.4")
+	db.Add(addr, Report{Category: paperdata.CatSpam, Source: "x", Count: 1})
+	rec, _ := db.Lookup(addr)
+	rec.Reports[0].Count = 99 // mutating the copy must not affect the DB
+	rec2, _ := db.Lookup(addr)
+	if rec2.Reports[0].Count != 1 {
+		t.Error("Lookup leaked internal state")
+	}
+}
+
+func TestDominantTieBreak(t *testing.T) {
+	db := NewDB()
+	addr := ipv4.MustParseAddr("5.6.7.8")
+	// Equal counts: Table IX order prefers Malware over Phishing.
+	db.Add(addr,
+		Report{Category: paperdata.CatPhishing, Source: "a", Count: 3},
+		Report{Category: paperdata.CatMalware, Source: "b", Count: 3},
+	)
+	rec, _ := db.Lookup(addr)
+	if rec.Dominant() != paperdata.CatMalware {
+		t.Errorf("tie broke to %s", rec.Dominant())
+	}
+}
+
+func BenchmarkFeedConstruction2018(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewFeed(paperdata.Y2018, int64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	f := NewFeed(paperdata.Y2018, 1)
+	addrs := f.DB.Addrs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.DB.Lookup(addrs[i%len(addrs)])
+	}
+}
