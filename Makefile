@@ -1,0 +1,33 @@
+# Standard entry points for building and validating the reproduction.
+#
+#   make build   compile every package and command
+#   make test    full test suite (tier-1 gate)
+#   make race    race-detector pass over the concurrent pipeline
+#   make vet     static checks
+#   make bench   campaign benchmarks, recorded as BENCH_PR1.json
+
+GO ?= go
+BENCH_OUT ?= BENCH_PR1.json
+
+.PHONY: all build test race vet bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel synthesis engine and the accumulator merge are the only
+# concurrent paths; -race over their packages keeps the gate fast while
+# covering every goroutine the repo spawns.
+race:
+	$(GO) test -race ./internal/core/... ./internal/analysis/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count 3 . \
+		| tee /dev/stderr | $(GO) run ./scripts/bench2json > $(BENCH_OUT)

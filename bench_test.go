@@ -386,6 +386,37 @@ func BenchmarkCampaignSynthetic2018(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignSyntheticSerial pins the legacy single-goroutine
+// synthesis path (Workers: 1) — the baseline the parallel runs are
+// compared against.
+func BenchmarkCampaignSyntheticSerial(b *testing.B) {
+	benchCampaignWorkers(b, 1)
+}
+
+// BenchmarkCampaignSyntheticParallel runs the sharded worker-pool path with
+// one worker per core (Workers: 0). On a multicore host the speedup over
+// BenchmarkCampaignSyntheticSerial approaches the core count; the reports
+// are bit-identical either way (TestSyntheticWorkersDeterministic).
+func BenchmarkCampaignSyntheticParallel(b *testing.B) {
+	benchCampaignWorkers(b, 0)
+}
+
+func benchCampaignWorkers(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds, err := core.RunSynthetic(core.Config{
+			Year: paperdata.Y2018, SampleShift: benchShift, Seed: int64(i), Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Report.Correctness.R2 == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
 // BenchmarkCampaignSimulation2018 measures a complete scaled end-to-end
 // simulation (the paper's whole measurement pipeline).
 func BenchmarkCampaignSimulation2018(b *testing.B) {

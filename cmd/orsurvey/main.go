@@ -5,7 +5,7 @@
 // Usage:
 //
 //	orsurvey [-year 2018] [-mode synth|sim] [-shift N] [-seed N]
-//	         [-pps N] [-capture file]
+//	         [-pps N] [-workers N] [-capture file]
 //
 // Examples:
 //
@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -27,23 +29,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "orsurvey:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orsurvey", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	year := fs.Int("year", 2018, "campaign year (2013 or 2018)")
 	mode := fs.String("mode", "synth", "execution mode: synth or sim")
 	shift := fs.Uint("shift", 0, "sample shift: scale to 1/2^shift (sim mode needs ≥6)")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
+	workers := fs.Int("workers", 0, "synthetic-mode worker goroutines (0 = all cores, 1 = serial)")
 	capturePath := fs.String("capture", "", "write the R2 capture log to this file (sim mode)")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
 	csvDir := fs.String("csvdir", "", "write every table as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 
@@ -52,6 +59,7 @@ func run(args []string) error {
 		SampleShift:   uint8(*shift),
 		Seed:          *seed,
 		PacketsPerSec: *pps,
+		Workers:       *workers,
 		KeepPackets:   *capturePath != "",
 	}
 
@@ -65,7 +73,7 @@ func run(args []string) error {
 	case "sim":
 		if cfg.SampleShift < 6 {
 			cfg.SampleShift = 12
-			fmt.Fprintln(os.Stderr, "orsurvey: sim mode defaulted to -shift 12")
+			fmt.Fprintln(stderr, "orsurvey: sim mode defaulted to -shift 12")
 		}
 		ds, err = core.RunSimulation(cfg)
 	default:

@@ -1,13 +1,22 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunSynth(t *testing.T) {
-	if err := run([]string{"-year", "2018", "-shift", "10"}); err != nil {
+	if err := run([]string{"-year", "2018", "-shift", "10"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSynthWorkers(t *testing.T) {
+	if err := run([]string{"-year", "2018", "-shift", "12", "-workers", "3"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,7 +26,7 @@ func TestRunSimWithCapture(t *testing.T) {
 		t.Skip("runs a full simulation")
 	}
 	path := filepath.Join(t.TempDir(), "r2.orlog")
-	if err := run([]string{"-mode", "sim", "-shift", "13", "-capture", path}); err != nil {
+	if err := run([]string{"-mode", "sim", "-shift", "13", "-capture", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	st, err := os.Stat(path)
@@ -30,14 +39,30 @@ func TestRunSimWithCapture(t *testing.T) {
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-mode", "nope"}); err == nil {
+	if err := run([]string{"-mode", "nope"}, io.Discard); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
-	if err := run([]string{"-year", "1999"}); err == nil {
+	if err := run([]string{"-year", "1999"}, io.Discard); err == nil {
 		t.Error("unknown year accepted")
+	}
+}
+
+func TestUsageListsWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	usage := buf.String()
+	for _, flag := range []string{"-workers", "-year", "-mode", "-shift"} {
+		if !strings.Contains(usage, flag) {
+			t.Errorf("usage output missing %s:\n%s", flag, usage)
+		}
+	}
+	if !strings.Contains(usage, "all cores") {
+		t.Errorf("-workers usage does not explain the 0 default:\n%s", usage)
 	}
 }
 
@@ -45,7 +70,7 @@ func TestRunWithExports(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "report.json")
 	csvDir := filepath.Join(dir, "csv")
-	if err := run([]string{"-year", "2018", "-shift", "12", "-json", jsonPath, "-csvdir", csvDir}); err != nil {
+	if err := run([]string{"-year", "2018", "-shift", "12", "-json", jsonPath, "-csvdir", csvDir}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(jsonPath); err != nil || st.Size() == 0 {

@@ -5,36 +5,44 @@
 //
 // Usage:
 //
-//	ortrend [-epochs 6] [-shift 10] [-seed 1]
+//	ortrend [-epochs 6] [-shift 10] [-seed 1] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"openresolver/internal/drift"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ortrend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ortrend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	epochs := fs.Int("epochs", 6, "monitoring epochs between the 2013 and 2018 snapshots")
 	shift := fs.Uint("shift", 10, "sample shift: scale each campaign to 1/2^shift")
 	seed := fs.Int64("seed", 1, "deterministic seed")
+	workers := fs.Int("workers", 0, "worker goroutines per campaign (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	points, err := drift.Trend(drift.Config{
 		Epochs:      *epochs,
 		SampleShift: uint8(*shift),
 		Seed:        *seed,
+		Workers:     *workers,
 	})
 	if err != nil {
 		return err

@@ -1,18 +1,42 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRun(t *testing.T) {
-	if err := run([]string{"-epochs", "2", "-shift", "13"}); err != nil {
+	if err := run([]string{"-epochs", "2", "-shift", "13"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	if err := run([]string{"-epochs", "2", "-shift", "13", "-workers", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
-	if err := run([]string{"-epochs", "1"}); err == nil {
+	if err := run([]string{"-epochs", "1"}, io.Discard); err == nil {
 		t.Error("single epoch accepted")
+	}
+}
+
+func TestUsageListsWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	usage := buf.String()
+	for _, flag := range []string{"-workers", "-epochs", "-shift"} {
+		if !strings.Contains(usage, flag) {
+			t.Errorf("usage output missing %s:\n%s", flag, usage)
+		}
 	}
 }

@@ -102,6 +102,82 @@ func (a *Accumulator) AddR2(src ipv4.Addr, wire []byte) {
 	a.AddMessage(src, msg)
 }
 
+// AddR2Into is AddR2 with caller-owned decode scratch: the payload is
+// decoded into msg, whose section slices and RDATA buffers are reused
+// across calls (see dnswire.UnpackInto). One scratch message per worker
+// removes the per-packet decode allocations from the campaign hot path.
+func (a *Accumulator) AddR2Into(src ipv4.Addr, wire []byte, msg *dnswire.Message) {
+	if err := dnswire.UnpackInto(msg, wire); err != nil {
+		a.undecodable++
+		return
+	}
+	a.AddMessage(src, msg)
+}
+
+// Merge folds b's accumulated state into a, leaving b unchanged. Counters
+// and multiplicity maps are summed; the unique-malicious map is unioned,
+// which is exact because its values are derived from the key alone
+// (Dominant() of the address's threat record). No accumulator state is
+// order-sensitive beyond that, so splitting a packet stream at arbitrary
+// boundaries, accumulating the pieces independently, and merging the
+// shard accumulators in any order reproduces the single-accumulator
+// result exactly — the invariant the parallel campaign engine relies on.
+func (a *Accumulator) Merge(b *Accumulator) {
+	a.correct += b.correct
+	a.incorrect += b.incorrect
+	a.without += b.without
+	a.undecodable += b.undecodable
+	for i := range a.ra {
+		a.ra[i].Without += b.ra[i].Without
+		a.ra[i].Correct += b.ra[i].Correct
+		a.ra[i].Incorr += b.ra[i].Incorr
+		a.aa[i].Without += b.aa[i].Without
+		a.aa[i].Correct += b.aa[i].Correct
+		a.aa[i].Incorr += b.aa[i].Incorr
+	}
+	for i := range a.rcodeW {
+		a.rcodeW[i] += b.rcodeW[i]
+		a.rcodeWO[i] += b.rcodeWO[i]
+	}
+	for k, n := range b.ipCounts {
+		a.ipCounts[k] += n
+	}
+	for k, n := range b.urlCounts {
+		a.urlCounts[k] += n
+	}
+	for k, n := range b.strCounts {
+		a.strCounts[k] += n
+	}
+	a.naPackets += b.naPackets
+	for k, n := range b.malPackets {
+		a.malPackets[k] += n
+	}
+	for k, v := range b.malUnique {
+		a.malUnique[k] = v
+	}
+	a.malFlags.RA0 += b.malFlags.RA0
+	a.malFlags.RA1 += b.malFlags.RA1
+	a.malFlags.AA0 += b.malFlags.AA0
+	a.malFlags.AA1 += b.malFlags.AA1
+	for k, n := range b.malGeo {
+		a.malGeo[k] += n
+	}
+	a.malNonZeroR += b.malNonZeroR
+	a.eq.Total += b.eq.Total
+	a.eq.WithAnswer += b.eq.WithAnswer
+	a.eq.PrivateNets += b.eq.PrivateNets
+	a.eq.Private192 += b.eq.Private192
+	a.eq.Private10 += b.eq.Private10
+	a.eq.BadFormat += b.eq.BadFormat
+	a.eq.Unroutable += b.eq.Unroutable
+	a.eq.RA1 += b.eq.RA1
+	a.eq.RA0 += b.eq.RA0
+	a.eq.AA1 += b.eq.AA1
+	for i := range a.eq.Rcodes {
+		a.eq.Rcodes[i] += b.eq.Rcodes[i]
+	}
+}
+
 // AddMessage ingests an already-decoded response.
 func (a *Accumulator) AddMessage(src ipv4.Addr, msg *dnswire.Message) {
 	q, hasQ := msg.Question1()

@@ -257,12 +257,32 @@ func (r *Resolver) respond(n *netsim.Node, dg netsim.Datagram, q *dnswire.Messag
 // shared by the discrete-event Resolver and the streaming synthetic mode,
 // guaranteeing both modes emit byte-identical behaviour.
 func BuildResponse(q *dnswire.Message, p Profile, res dnssrv.Result) *dnswire.Message {
-	resp := dnswire.NewResponse(q)
+	resp := new(dnswire.Message)
+	BuildResponseInto(resp, q, p, res)
+	return resp
+}
+
+// malformedRDATA is the undecodable A-record payload of AnswerMalformed.
+// Shared and read-only: the encoder only ever reads RR.Data.
+var malformedRDATA = []byte{0x00, 0x00}
+
+// BuildResponseInto is BuildResponse writing into resp, whose section
+// slices are reused across calls — the synthetic engine's per-probe path
+// builds millions of responses through one scratch message per worker.
+// resp must not alias q and must not be read after a subsequent call.
+// The encoded bytes are identical to BuildResponse's (an omitted question
+// section is length-0 rather than nil, which encodes the same).
+func BuildResponseInto(resp *dnswire.Message, q *dnswire.Message, p Profile, res dnssrv.Result) {
+	resp.Header = dnswire.Header{ID: q.Header.ID, QR: true, RD: q.Header.RD}
+	resp.Questions = append(resp.Questions[:0], q.Questions...)
+	resp.Answers = resp.Answers[:0]
+	resp.Authority = resp.Authority[:0]
+	resp.Additional = resp.Additional[:0]
 	resp.Header.RA = p.RA
 	resp.Header.AA = p.AA
 	resp.Header.Rcode = p.Rcode
 	if p.OmitQuestion {
-		resp.Questions = nil
+		resp.Questions = resp.Questions[:0]
 	}
 	qname := ""
 	if qst, ok := q.Question1(); ok {
@@ -293,10 +313,9 @@ func BuildResponse(q *dnswire.Message, p Profile, res dnssrv.Result) *dnswire.Me
 	case AnswerMalformed:
 		resp.Answers = append(resp.Answers, dnswire.RR{
 			Name: qname, Type: dnswire.TypeA, Class: dnswire.ClassIN,
-			TTL: 300, Data: []byte{0x00, 0x00},
+			TTL: 300, Data: malformedRDATA,
 		})
 	}
-	return resp
 }
 
 // Canned profile constructors for the taxonomy's common cases. The

@@ -19,6 +19,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"openresolver/internal/analysis"
@@ -64,6 +66,22 @@ type Config struct {
 	PacketsPerSec uint64
 	// KeepPackets retains raw R2 packets in the dataset (simulation mode).
 	KeepPackets bool
+	// Workers sets the parallelism of the synthetic engine: the population
+	// is split into contiguous probe-index shards, each processed by one
+	// worker against its own accumulator, and the shard accumulators are
+	// merged in shard order. 0 uses runtime.GOMAXPROCS(0); 1 is the legacy
+	// serial path. The report is identical for every value — the shards are
+	// seeded with prefix-sum-derived cursors so each worker produces exactly
+	// the probes the serial loop would (see DESIGN.md §2). Simulation mode
+	// ignores Workers: the discrete-event network is inherently sequential.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) pps() uint64 {
@@ -154,34 +172,10 @@ func SynthesizePopulation(cfg Config, pop *population.Population, threat *threat
 	if err != nil {
 		return nil, err
 	}
-	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg})
-
 	clusterSize := cfg.scaledClusterSize()
-	var qid uint16
-	var nameIdx uint64
-	buf := make([]byte, 0, 512)
-	for _, cohort := range pop.Cohorts {
-		for i := uint64(0); i < cohort.Count; i++ {
-			src, err := assigner.Next(cohort.Country)
-			if err != nil {
-				return nil, err
-			}
-			qname := dnssrv.FormatProbeName(
-				int(nameIdx/uint64(clusterSize)), int(nameIdx%uint64(clusterSize)), paperdata.SLD)
-			nameIdx++
-			qid++
-			q := dnswire.NewQuery(qid, qname, dnswire.TypeA)
-			res := dnssrv.Result{}
-			if cohort.Profile.Answer == behavior.AnswerTruth {
-				res = dnssrv.Result{Addr: dnssrv.TruthAddr(qname), Rcode: dnswire.RcodeNoError, OK: true}
-			}
-			resp := behavior.BuildResponse(q, cohort.Profile, res)
-			buf, err = resp.Append(buf[:0])
-			if err != nil {
-				return nil, fmt.Errorf("core: encode response: %w", err)
-			}
-			acc.AddR2(src, buf)
-		}
+	acc, err := synthesize(cfg, pop, threat, reg, assigner, clusterSize)
+	if err != nil {
+		return nil, err
 	}
 
 	camp := syntheticCampaignCounts(cfg, pop, clusterSize)
@@ -192,6 +186,215 @@ func SynthesizePopulation(cfg Config, pop *population.Population, threat *threat
 		ClustersUsed: int((pop.ExpectedR2 + uint64(clusterSize) - 1) / uint64(clusterSize)),
 	}
 	return ds, nil
+}
+
+// ProbeQID returns the DNS transaction ID of the probe at zero-based
+// global index i. IDs start at 1 and wrap modulo 2^16 — i.e. every 65,536
+// probes the ID passes through 0 — exactly reproducing the serial engine's
+// historical bare uint16 increment. Making the wrap explicit gives shards
+// a well-defined starting ID derived from their global offset alone; the
+// helper is shared by the serial and parallel paths so they cannot drift.
+func ProbeQID(i uint64) uint16 {
+	return uint16((i + 1) & 0xFFFF)
+}
+
+// shardPlan describes one worker's contiguous slice of the campaign: the
+// global probe-index range it synthesizes, where that range starts in the
+// cohort list, and how many assignments of each kind precede it — the
+// prefix sums that seed the worker's assigner cursors so it draws exactly
+// the source addresses the serial walk would have drawn for the range.
+type shardPlan struct {
+	start, end uint64 // global probe indexes [start, end)
+	cohort     int    // index of the cohort containing start
+	offset     uint64 // probes into that cohort at start
+	unpinned   uint64 // unconstrained assignments before start
+	byCountry  map[string]uint64
+}
+
+// planShards splits total probes into n balanced contiguous shards,
+// computing every shard's cohort position and assignment prefix sums in
+// one walk over the cohort list.
+func planShards(pop *population.Population, total uint64, n int) []shardPlan {
+	plans := make([]shardPlan, 0, n)
+	var (
+		cum      uint64 // global index at the start of cohort ci
+		unpinned uint64 // unconstrained assignments before cum
+		country  = make(map[string]uint64)
+		ci       int
+	)
+	for w := 0; w < n; w++ {
+		start := total * uint64(w) / uint64(n)
+		end := total * uint64(w+1) / uint64(n)
+		// Advance the walk until cohort ci contains start.
+		for ci < len(pop.Cohorts) && cum+pop.Cohorts[ci].Count <= start {
+			c := &pop.Cohorts[ci]
+			if c.Country == "" {
+				unpinned += c.Count
+			} else {
+				country[c.Country] += c.Count
+			}
+			cum += c.Count
+			ci++
+		}
+		p := shardPlan{
+			start: start, end: end,
+			cohort:    ci,
+			offset:    start - cum,
+			unpinned:  unpinned,
+			byCountry: make(map[string]uint64, len(country)),
+		}
+		for k, v := range country {
+			p.byCountry[k] = v
+		}
+		// The partial cohort's own prefix.
+		if ci < len(pop.Cohorts) && p.offset > 0 {
+			if c := &pop.Cohorts[ci]; c.Country == "" {
+				p.unpinned += p.offset
+			} else {
+				p.byCountry[c.Country] += p.offset
+			}
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// synthWorker holds one worker's streaming state: its accumulator, its
+// assigner cursors, and the scratch buffers the per-probe path reuses —
+// query and response messages, the encode buffer, the qname builder, and
+// the decode message — so steady-state synthesis allocates only the qname
+// string and the decoder's name strings per probe.
+type synthWorker struct {
+	clusterSize uint64
+	assigner    *population.Assigner
+	acc         *analysis.Accumulator
+
+	query, resp, decoded dnswire.Message
+	buf, name            []byte
+}
+
+// run synthesizes the worker's shard. The global probe index g determines
+// the qname and transaction ID; the assigner cursors determine the source
+// address; together they reproduce the serial loop's exact output for
+// [start, end).
+func (w *synthWorker) run(pop *population.Population, plan shardPlan) error {
+	g := plan.start
+	for ci := plan.cohort; ci < len(pop.Cohorts) && g < plan.end; ci++ {
+		cohort := &pop.Cohorts[ci]
+		i := uint64(0)
+		if ci == plan.cohort {
+			i = plan.offset
+		}
+		for ; i < cohort.Count && g < plan.end; i++ {
+			if err := w.probe(cohort, g); err != nil {
+				return err
+			}
+			g++
+		}
+	}
+	if g != plan.end {
+		return fmt.Errorf("core: shard [%d,%d) ran out of cohorts at %d", plan.start, plan.end, g)
+	}
+	return nil
+}
+
+func (w *synthWorker) probe(cohort *population.Cohort, g uint64) error {
+	src, err := w.assigner.Next(cohort.Country)
+	if err != nil {
+		return err
+	}
+	w.name = dnssrv.AppendProbeName(w.name[:0],
+		int(g/w.clusterSize), int(g%w.clusterSize), paperdata.SLD)
+	qname := dnswire.CanonicalName(string(w.name))
+	w.query.Header = dnswire.Header{ID: ProbeQID(g), RD: true}
+	w.query.Questions = append(w.query.Questions[:0],
+		dnswire.Question{Name: qname, Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	res := dnssrv.Result{}
+	if cohort.Profile.Answer == behavior.AnswerTruth {
+		res = dnssrv.Result{Addr: dnssrv.TruthAddr(qname), Rcode: dnswire.RcodeNoError, OK: true}
+	}
+	behavior.BuildResponseInto(&w.resp, &w.query, cohort.Profile, res)
+	w.buf, err = w.resp.Append(w.buf[:0])
+	if err != nil {
+		return fmt.Errorf("core: encode response: %w", err)
+	}
+	w.acc.AddR2Into(src, w.buf, &w.decoded)
+	return nil
+}
+
+// synthesize streams the whole population through the analysis pipeline,
+// fanning out over cfg.workers() shard workers and merging their
+// accumulators in shard order. Workers(1) runs the single shard inline —
+// the legacy serial path. Each worker forks the assigner and fast-forwards
+// its cursors past the preceding shards' draws (O(1) per country, one
+// cheap stride step per unpinned draw), so the merged accumulator is
+// provably identical to the serial one for any worker count.
+func synthesize(cfg Config, pop *population.Population, threat *threatintel.DB,
+	reg *geo.Registry, assigner *population.Assigner, clusterSize int) (*analysis.Accumulator, error) {
+	var total uint64
+	for _, c := range pop.Cohorts {
+		total += c.Count
+	}
+	accCfg := analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg}
+	workers := cfg.workers()
+	if uint64(workers) > total {
+		workers = int(total)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	newWorker := func(a *population.Assigner) *synthWorker {
+		return &synthWorker{
+			clusterSize: uint64(clusterSize),
+			assigner:    a,
+			acc:         analysis.NewAccumulator(accCfg),
+			buf:         make([]byte, 0, 512),
+			name:        make([]byte, 0, 64),
+		}
+	}
+	if workers == 1 {
+		w := newWorker(assigner)
+		if err := w.run(pop, shardPlan{start: 0, end: total}); err != nil {
+			return nil, err
+		}
+		return w.acc, nil
+	}
+
+	plans := planShards(pop, total, workers)
+	ws := make([]*synthWorker, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i, plan := range plans {
+		wg.Add(1)
+		go func(i int, plan shardPlan) {
+			defer wg.Done()
+			fork := assigner.Fork()
+			for country, n := range plan.byCountry {
+				if err := fork.AdvanceCountry(country, n); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if err := fork.AdvanceUnpinned(plan.unpinned); err != nil {
+				errs[i] = err
+				return
+			}
+			w := newWorker(fork)
+			ws[i] = w
+			errs[i] = w.run(pop, plan)
+		}(i, plan)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc := ws[0].acc
+	for _, w := range ws[1:] {
+		acc.Merge(w.acc)
+	}
+	return acc, nil
 }
 
 // syntheticCampaignCounts derives the Table II row for a synthetic run: Q1

@@ -25,7 +25,38 @@ type ProbeName struct {
 // FormatProbeName renders the probe subdomain for (cluster, index) under
 // sld, zero-padded exactly as in the paper: or000.0000001.ucfsealresearch.net.
 func FormatProbeName(cluster, index int, sld string) string {
-	return fmt.Sprintf("or%03d.%07d.%s", cluster, index, sld)
+	var buf [64]byte
+	return string(AppendProbeName(buf[:0], cluster, index, sld))
+}
+
+// AppendProbeName appends the probe subdomain for (cluster, index) under
+// sld to dst, returning the extended slice. It produces exactly the bytes
+// of FormatProbeName without allocating, which matters on the synthetic
+// campaign's per-probe hot path (millions of names per run).
+func AppendProbeName(dst []byte, cluster, index int, sld string) []byte {
+	dst = append(dst, 'o', 'r')
+	dst = appendZeroPad(dst, cluster, 3)
+	dst = append(dst, '.')
+	dst = appendZeroPad(dst, index, 7)
+	dst = append(dst, '.')
+	return append(dst, sld...)
+}
+
+// appendZeroPad appends v zero-padded to at least width digits, matching
+// fmt's %0*d (the sign, if any, precedes the padding).
+func appendZeroPad(dst []byte, v, width int) []byte {
+	u := uint64(v)
+	if v < 0 {
+		dst = append(dst, '-')
+		u = -u
+		width--
+	}
+	var digits [20]byte
+	s := strconv.AppendUint(digits[:0], u, 10)
+	for i := len(s); i < width; i++ {
+		dst = append(dst, '0')
+	}
+	return append(dst, s...)
 }
 
 // ParseProbeName inverts FormatProbeName. The name must be under sld.

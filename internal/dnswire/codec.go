@@ -154,8 +154,28 @@ func appendRR(dst []byte, rr *RR) ([]byte, error) {
 // structural integrity (truncation, bad pointers), mirroring what a libpcap
 // parser would accept.
 func Unpack(msg []byte) (*Message, error) {
+	m := new(Message)
+	if err := UnpackInto(m, msg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackInto decodes a wire-format message into m, reusing m's section
+// slices and per-record RDATA buffers across calls. It accepts exactly the
+// messages Unpack accepts and yields semantically identical results, with
+// one representational difference: a section absent from the wire is left
+// as a length-0 (possibly non-nil) slice rather than nil, so the backing
+// arrays survive for the next call. A streaming consumer decoding millions
+// of R2 packets into one scratch Message runs the structural part of the
+// parse allocation-free (name strings are still materialized per call).
+//
+// On error m's contents are unspecified; it remains valid as scratch for
+// the next call. m must not alias the previous decode's results anywhere
+// the caller still reads.
+func UnpackInto(m *Message, msg []byte) error {
 	if len(msg) < 12 {
-		return nil, ErrShortHeader
+		return ErrShortHeader
 	}
 	id := binary.BigEndian.Uint16(msg[0:])
 	flags := binary.BigEndian.Uint16(msg[2:])
@@ -165,58 +185,71 @@ func Unpack(msg []byte) (*Message, error) {
 	ar := int(binary.BigEndian.Uint16(msg[10:]))
 	// Each question needs ≥5 bytes, each RR ≥11; reject counts that cannot fit.
 	if qd*5+(an+ns+ar)*11 > len(msg)-12 {
-		return nil, ErrTooManyRecords
+		return ErrTooManyRecords
 	}
 
-	m := &Message{Header: headerFromFlags(id, flags)}
+	m.Header = headerFromFlags(id, flags)
 	off := 12
 	var err error
-	if qd > 0 {
+	m.Questions = m.Questions[:0]
+	if cap(m.Questions) < qd {
 		m.Questions = make([]Question, 0, qd)
 	}
 	for i := 0; i < qd; i++ {
 		var q Question
 		if q.Name, off, err = readName(msg, off); err != nil {
-			return nil, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		if off+4 > len(msg) {
-			return nil, fmt.Errorf("question %d: %w", i, ErrTruncatedRR)
+			return fmt.Errorf("question %d: %w", i, ErrTruncatedRR)
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	for _, sec := range []struct {
-		n   int
-		dst *[]RR
-	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
-		if sec.n == 0 {
-			continue
-		}
-		*sec.dst = make([]RR, 0, sec.n)
-		for i := 0; i < sec.n; i++ {
-			var rr RR
-			if rr, off, err = readRR(msg, off); err != nil {
-				return nil, fmt.Errorf("rr %d: %w", i, err)
-			}
-			*sec.dst = append(*sec.dst, rr)
-		}
+	if m.Answers, off, err = readSection(m.Answers, an, msg, off); err != nil {
+		return err
+	}
+	if m.Authority, off, err = readSection(m.Authority, ns, msg, off); err != nil {
+		return err
+	}
+	if m.Additional, off, err = readSection(m.Additional, ar, msg, off); err != nil {
+		return err
 	}
 	if off != len(msg) {
-		return nil, ErrTrailingGarbage
+		return ErrTrailingGarbage
 	}
-	return m, nil
+	return nil
 }
 
-func readRR(msg []byte, off int) (RR, int, error) {
-	var rr RR
+// readSection decodes n records into s, reusing its backing array (and
+// each element's RDATA buffer) when large enough.
+func readSection(s []RR, n int, msg []byte, off int) ([]RR, int, error) {
+	if cap(s) < n {
+		s = make([]RR, n)
+	}
+	s = s[:n]
+	for i := 0; i < n; i++ {
+		var err error
+		if off, err = readRRInto(&s[i], msg, off); err != nil {
+			return s, 0, fmt.Errorf("rr %d: %w", i, err)
+		}
+	}
+	return s, off, nil
+}
+
+// readRRInto decodes one resource record into *rr, reusing rr's RDATA
+// buffer; every other field is overwritten.
+func readRRInto(rr *RR, msg []byte, off int) (int, error) {
+	data := rr.Data[:0]
+	*rr = RR{}
 	var err error
 	if rr.Name, off, err = readName(msg, off); err != nil {
-		return rr, 0, err
+		return 0, err
 	}
 	if off+10 > len(msg) {
-		return rr, 0, ErrTruncatedRR
+		return 0, ErrTruncatedRR
 	}
 	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
@@ -224,9 +257,9 @@ func readRR(msg []byte, off int) (RR, int, error) {
 	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
 	off += 10
 	if off+rdlen > len(msg) {
-		return rr, 0, ErrTruncatedRR
+		return 0, ErrTruncatedRR
 	}
-	rr.Data = append([]byte(nil), msg[off:off+rdlen]...)
+	rr.Data = append(data, msg[off:off+rdlen]...)
 	rdStart := off
 	off += rdlen
 
@@ -263,7 +296,7 @@ func readRR(msg []byte, off int) (RR, int, error) {
 		}
 		rr.Target = string(rr.Data[1:])
 	}
-	return rr, off, nil
+	return off, nil
 }
 
 // NewQuery builds a standard recursive query for (name, type), matching the

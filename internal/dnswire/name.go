@@ -158,6 +158,11 @@ func readName(msg []byte, off int) (string, int, error) {
 			if end > len(msg) {
 				return "", 0, ErrTruncatedName
 			}
+			if b.Cap() == 0 {
+				// One up-front allocation covers virtually every real name;
+				// the builder regrows only past 64 presentation bytes.
+				b.Grow(64)
+			}
 			if b.Len() != 0 {
 				b.WriteByte('.')
 			}

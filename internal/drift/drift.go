@@ -34,6 +34,12 @@ type Config struct {
 	SampleShift uint8
 	// Seed drives population construction.
 	Seed int64
+	// Workers bounds the worker goroutines of each epoch's campaign (as in
+	// core.Config: 0 = all cores, 1 = serial). Epochs themselves run
+	// sequentially — each depends on nothing but its own mixed population,
+	// yet keeping them ordered makes progress output and memory use
+	// predictable while the inner pipeline saturates the cores.
+	Workers int
 }
 
 // Point is one monitoring epoch's summary.
@@ -83,6 +89,7 @@ func Trend(cfg Config) ([]Point, error) {
 		}
 		ds, err := core.SynthesizePopulation(core.Config{
 			Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed + int64(i),
+			Workers: cfg.Workers,
 		}, mixed, merged)
 		if err != nil {
 			return nil, fmt.Errorf("epoch %d: %w", i, err)

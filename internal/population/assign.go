@@ -108,6 +108,53 @@ func (a *Assigner) reserveCountry(country string, n uint64) ([]ipv4.Addr, error)
 	return nil, fmt.Errorf("population: country %q has only %d/%d coset addresses", country, len(out), n)
 }
 
+// Fork returns an assigner with independent cursors over the same
+// assignment sequence. The universe, registry, avoid set and per-country
+// reservations are shared: NewAssigner is the only writer of those, so
+// forks may draw addresses concurrently with each other and the parent as
+// long as each assigner is used by a single goroutine.
+//
+// Combined with Advance*, a fork lets a shard worker start exactly where
+// the serial walk would be after the preceding shards' draws, without
+// materializing any addresses.
+func (a *Assigner) Fork() *Assigner {
+	taken := make(map[string]int, len(a.taken))
+	for k, v := range a.taken {
+		taken[k] = v
+	}
+	return &Assigner{
+		u: a.u, reg: a.reg, avoid: a.avoid,
+		pos: a.pos, stride: a.stride, issued: a.issued,
+		reserved: a.reserved, taken: taken,
+	}
+}
+
+// AdvanceUnpinned consumes and discards the next n unconstrained
+// assignments, leaving the cursor exactly where n successful Next("")
+// calls would. The walk still has to test each visited position against
+// the avoid set, but skipping is several orders of magnitude cheaper than
+// the per-probe encode/decode work it lets a shard worker bypass.
+func (a *Assigner) AdvanceUnpinned(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if _, err := a.Next(""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdvanceCountry consumes and discards the next n reserved addresses of
+// country. Country reservations are materialized lists, so this is O(1).
+func (a *Assigner) AdvanceCountry(country string, n uint64) error {
+	list := a.reserved[country]
+	i := a.taken[country]
+	if uint64(len(list)-i) < n {
+		return fmt.Errorf("population: country %q reservation exhausted", country)
+	}
+	a.taken[country] = i + int(n)
+	return nil
+}
+
 // Next returns the next source address for a resolver of the given cohort
 // country ("" = unconstrained).
 func (a *Assigner) Next(country string) (ipv4.Addr, error) {

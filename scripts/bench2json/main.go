@@ -1,0 +1,108 @@
+// Command bench2json converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, so benchmark runs can be committed and
+// diffed across PRs (BENCH_PR1.json and successors).
+//
+// Usage:
+//
+//	go test -bench 'CampaignSynthetic' -benchmem | go run ./scripts/bench2json > BENCH_PR1.json
+//
+// The converter keeps the environment header lines (goos/goarch/pkg/cpu),
+// records the Go version and GOMAXPROCS of the converting process, and
+// parses each Benchmark line into name, parallelism suffix, iteration
+// count and the metric/unit pairs (ns/op, B/op, allocs/op, custom
+// ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Env        map[string]string `json:"env"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Env:        map[string]string{},
+		Benchmarks: []benchmark{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench2json: skipping %q: %v\n", line, err)
+				continue
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			doc.Env[key] = strings.TrimSpace(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line, e.g.
+//
+//	BenchmarkCampaignSyntheticParallel-8  50  21098 ns/op  512 B/op  3 allocs/op
+func parseBench(line string) (benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchmark{}, fmt.Errorf("too few fields")
+	}
+	b := benchmark{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, fmt.Errorf("metric %q: %w", fields[i+1], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
