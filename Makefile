@@ -1,15 +1,18 @@
 # Standard entry points for building and validating the reproduction.
 #
-#   make build   compile every package and command
-#   make test    full test suite (tier-1 gate)
-#   make race    race-detector pass over the concurrent pipeline
-#   make vet     static checks
-#   make bench   campaign benchmarks, recorded as BENCH_PR1.json
+#   make build      compile every package and command
+#   make test       full test suite (tier-1 gate)
+#   make race       race-detector pass over the concurrent pipeline
+#   make vet        static checks
+#   make bench      campaign benchmarks, recorded as BENCH_PR1.json
+#   make bench-sim  simulated-campaign + event-core benchmarks (BENCH_PR2 set)
+#   make profile    bench-sim under -cpuprofile/-memprofile for pprof
 
 GO ?= go
 BENCH_OUT ?= BENCH_PR1.json
+PROFILE_DIR ?= profiles
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet bench bench-sim profile
 
 all: build vet test
 
@@ -21,9 +24,12 @@ test:
 
 # The parallel synthesis engine and the accumulator merge are the only
 # concurrent paths; -race over their packages keeps the gate fast while
-# covering every goroutine the repo spawns.
+# covering every goroutine the repo spawns. The event core and prober are
+# single-threaded by design — -race over them guards against a future
+# change accidentally introducing shared state.
 race:
-	$(GO) test -race ./internal/core/... ./internal/analysis/...
+	$(GO) test -race ./internal/core/... ./internal/analysis/... \
+		./internal/netsim/... ./internal/prober/...
 
 vet:
 	$(GO) vet ./...
@@ -31,3 +37,18 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count 3 . \
 		| tee /dev/stderr | $(GO) run ./scripts/bench2json > $(BENCH_OUT)
+
+# Full simulated campaigns (both calibration years) plus the event-core
+# micro-benchmarks that the PR2 optimization targets.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 3 .
+	$(GO) test -run '^$$' -bench 'EventThroughput|TimerEnqueueDequeue|HostLookup' \
+		-benchmem -count 3 ./internal/netsim
+
+# CPU and heap profiles of the simulated campaign for pprof:
+#   go tool pprof $(PROFILE_DIR)/cpu.out
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 1 \
+		-cpuprofile $(PROFILE_DIR)/cpu.out -memprofile $(PROFILE_DIR)/mem.out \
+		-o $(PROFILE_DIR)/bench.test .

@@ -431,6 +431,32 @@ func BenchmarkCampaignSimulation2018(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignSimulated2013 and ...2018 are the discrete-event-core
+// allocation benchmarks (BENCH_PR2.json): a full RunSimulation campaign per
+// iteration with -benchmem, so allocs/op tracks the per-packet bookkeeping
+// of the event queue, host table, prober, servers and resolvers.
+func BenchmarkCampaignSimulated2013(b *testing.B) {
+	benchCampaignSimulated(b, paperdata.Y2013)
+}
+
+func BenchmarkCampaignSimulated2018(b *testing.B) {
+	benchCampaignSimulated(b, paperdata.Y2018)
+}
+
+func benchCampaignSimulated(b *testing.B, y paperdata.Year) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds, err := core.RunSimulation(core.Config{Year: y, SampleShift: 14, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Report.Correctness.R2 == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
 // BenchmarkTemporalContrast runs both campaigns back to back — the
 // paper's 2013-vs-2018 comparison (§IV, Tables II–IX).
 func BenchmarkTemporalContrast(b *testing.B) {

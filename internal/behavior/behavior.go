@@ -88,6 +88,14 @@ type Resolver struct {
 	fwdPending map[uint16]fwdClient
 	fwdNextID  uint16
 
+	// Steady-state scratch. rmsg is the inbound decode target; qmsg and
+	// respMsg rebuild the query and response on the answer path. A deferred
+	// recursion callback must not read rmsg (later packets decode over it),
+	// which is why the query is captured by value as a qinfo instead.
+	rmsg    dnswire.Message
+	qmsg    dnswire.Message
+	respMsg dnswire.Message
+
 	// Queries and Responses count probe-side traffic (Q1 in, R2 out).
 	Queries   uint64
 	Responses uint64
@@ -100,6 +108,32 @@ type fwdClient struct {
 	id               uint16
 	src              ipv4.Addr
 	srcPort, dstPort uint16
+}
+
+// qinfo is the by-value capture of an inbound query: everything respond
+// needs to build the R2 once recursion completes, safe to hold across
+// events while the decode scratch is reused.
+type qinfo struct {
+	id     uint16
+	rd     bool
+	hasQ   bool
+	name   string
+	qtype  dnswire.Type
+	qclass dnswire.Class
+	src    ipv4.Addr
+	// reply ports: R2 goes out (dstPort → srcPort) of the query datagram.
+	srcPort, dstPort uint16
+}
+
+func captureQuery(msg *dnswire.Message, dg netsim.Datagram) qinfo {
+	qi := qinfo{
+		id: msg.Header.ID, rd: msg.Header.RD,
+		src: dg.Src, srcPort: dg.SrcPort, dstPort: dg.DstPort,
+	}
+	if q, ok := msg.Question1(); ok {
+		qi.hasQ, qi.name, qi.qtype, qi.qclass = true, q.Name, q.Type, q.Class
+	}
+	return qi
 }
 
 // maxForwardPending bounds the forwarding table; a forwarding loop fills
@@ -131,15 +165,17 @@ func (r *Resolver) CacheStats() (hits, upstream uint64) {
 	return r.rec.CacheHits, r.rec.Resolutions - r.rec.CacheHits
 }
 
-// HandleDatagram implements netsim.Host.
+// HandleDatagram implements netsim.Host. Decoding reuses the resolver's
+// scratch message; every consumer below either finishes with it
+// synchronously or captures what it needs by value.
 func (r *Resolver) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
-	msg, err := dnswire.Unpack(dg.Payload)
-	if err != nil {
+	msg := &r.rmsg
+	if err := dnswire.UnpackInto(msg, dg.Payload); err != nil {
 		return
 	}
 	if msg.Header.QR {
 		// An upstream response: recursion engine first, then the
-		// forwarding table.
+		// forwarding table. Both consume msg before returning.
 		if r.rec != nil && r.rec.HandleResponse(msg) {
 			return
 		}
@@ -155,17 +191,16 @@ func (r *Resolver) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 		r.forward(n, dg, msg)
 		return
 	}
+	qi := captureQuery(msg, dg)
 	if r.profile.Upstream > 0 {
-		qname := ""
-		if q, ok := msg.Question1(); ok {
-			qname = q.Name
-		}
-		r.rec.Resolve(qname, func(res dnssrv.Result) {
-			r.respond(n, dg, msg, res)
+		// The callback may fire now (cache hit) or events later, after the
+		// scratch has been re-decoded — it reads only the qinfo capture.
+		r.rec.Resolve(qi.name, func(res dnssrv.Result) {
+			r.respond(n, qi, res)
 		})
 		return
 	}
-	r.respond(n, dg, msg, dnssrv.Result{})
+	r.respond(n, qi, dnssrv.Result{})
 }
 
 // forward relays the query to the configured upstream under a fresh ID.
@@ -241,15 +276,25 @@ func (r *Resolver) respondVersion(n *netsim.Node, dg netsim.Datagram, msg *dnswi
 	n.Send(dg.Src, dg.DstPort, dg.SrcPort, wire)
 }
 
-// respond builds and sends the R2 according to the profile.
-func (r *Resolver) respond(n *netsim.Node, dg netsim.Datagram, q *dnswire.Message, res dnssrv.Result) {
-	resp := BuildResponse(q, r.profile, res)
-	wire, err := resp.Pack()
+// respond builds and sends the R2 according to the profile. The query is
+// reassembled from its qinfo capture into scratch, the response encoded
+// into a pooled payload buffer; the emitted bytes are identical to the
+// allocating BuildResponse(q, …).Pack() path for single-question queries
+// (which all probe traffic is).
+func (r *Resolver) respond(n *netsim.Node, qi qinfo, res dnssrv.Result) {
+	r.qmsg.Header = dnswire.Header{ID: qi.id, RD: qi.rd}
+	r.qmsg.Questions = r.qmsg.Questions[:0]
+	if qi.hasQ {
+		r.qmsg.Questions = append(r.qmsg.Questions,
+			dnswire.Question{Name: qi.name, Type: qi.qtype, Class: qi.qclass})
+	}
+	BuildResponseInto(&r.respMsg, &r.qmsg, r.profile, res)
+	wire, err := r.respMsg.Append(n.PayloadBuf())
 	if err != nil {
 		return
 	}
 	r.Responses++
-	n.Send(dg.Src, dg.DstPort, dg.SrcPort, wire)
+	n.SendPooled(qi.src, qi.dstPort, qi.srcPort, wire)
 }
 
 // BuildResponse constructs the R2 message a profile produces for query q,

@@ -453,16 +453,32 @@ func RunSimulation(cfg Config) (*Dataset, error) {
 		Tap:         authLog,
 	})
 
-	// The resolver population.
-	for _, cohort := range pop.Cohorts {
+	// The resolver population, instantiated lazily. The assigner walk — and
+	// with it every address draw — is identical to the old eager
+	// construction, but only a cohort index is recorded per address; the
+	// Resolver host itself (and its recursion engine) materializes when its
+	// first packet arrives, via the spawner hook. Addresses the campaign
+	// never reaches (skipped sends, lost probes) are never built, and since
+	// NewResolver draws no randomness and delivery accounting is unchanged,
+	// the run is bit-identical to eager registration.
+	cohortOf := make(map[ipv4.Addr]int32, pop.ExpectedR2)
+	for ci, cohort := range pop.Cohorts {
 		for i := uint64(0); i < cohort.Count; i++ {
 			src, err := assigner.Next(cohort.Country)
 			if err != nil {
 				return nil, err
 			}
-			behavior.NewResolver(sim, src, RootAddr, cohort.Profile)
+			cohortOf[src] = int32(ci)
 		}
 	}
+	sim.SetSpawner(func(addr ipv4.Addr) bool {
+		ci, ok := cohortOf[addr]
+		if !ok {
+			return false
+		}
+		behavior.NewResolver(sim, addr, RootAddr, pop.Cohorts[ci].Profile)
+		return true
+	})
 
 	// The analysis pipeline, fed live from the prober's capture log.
 	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: feed.DB, Geo: reg})

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"openresolver/internal/paperdata"
+)
+
+// The alloc-free event core (PR 2) replaced the simulator's priority queue,
+// host table and prober bookkeeping wholesale. These digests were captured
+// from the pre-swap implementation (container/heap + map hosts + map-keyed
+// prober); RunSimulation must keep producing bit-identical campaigns — same
+// Report, same netsim.Stats, same R2 packet stream — for every (year, seed)
+// below. If a change legitimately alters campaign bytes, re-derive with
+//
+//	GOLDEN_PRINT=1 go test ./internal/core -run TestSimulationGolden -v
+//
+// and say so loudly in the PR: this is the determinism contract of the
+// discrete-event mode.
+var simulationGoldens = map[string]string{
+	"2013/seed1": "b1600505aa22d76b1eb818557e9e5ed9c5a506da21478d35b3a387c93815f91f",
+	"2013/seed7": "b1b6f3e3791ccbfbc8386dc0b9f814b8c94c309ed4ed8a6695f4bb654fec87f7",
+	"2018/seed1": "ec56c874dccf3a38be94468f0f50ef587ac17f9f09ea4bbdb8d4eed63084a6c8",
+	"2018/seed7": "fbe11384d146735785001433af916baeba3586f7445e006b7ebda78372063c50",
+}
+
+// simulationDigest hashes everything RunSimulation promises to keep stable:
+// the rendered report tables, the packet counters, the subdomain-pool
+// accounting, and the raw R2 stream in arrival order.
+func simulationDigest(ds *Dataset) string {
+	h := sha256.New()
+	r := ds.Report
+	for _, tbl := range []string{
+		r.RenderTableII(), r.RenderTableIII(), r.RenderTableIV(),
+		r.RenderTableV(), r.RenderTableVI(), r.RenderTableVII(),
+		r.RenderTableVIII(), r.RenderTableIX(), r.RenderTableX(),
+		r.RenderGeo(),
+	} {
+		h.Write([]byte(tbl))
+	}
+	fmt.Fprintf(h, "stats=%+v clusters=%d reused=%d\n",
+		ds.NetStats, ds.ClustersUsed, ds.SubdomainsReused)
+	var num [8]byte
+	for _, p := range ds.R2Packets {
+		binary.BigEndian.PutUint64(num[:], uint64(p.At))
+		h.Write(num[:])
+		binary.BigEndian.PutUint32(num[:4], uint32(p.Src))
+		h.Write(num[:4])
+		binary.BigEndian.PutUint32(num[:4], uint32(p.Dst))
+		h.Write(num[:4])
+		h.Write(p.Payload)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestSimulationGolden(t *testing.T) {
+	for _, year := range []paperdata.Year{paperdata.Y2013, paperdata.Y2018} {
+		for _, seed := range []int64{1, 7} {
+			key := fmt.Sprintf("%v/seed%d", year, seed)
+			t.Run(key, func(t *testing.T) {
+				ds, err := RunSimulation(Config{
+					Year: year, SampleShift: 14, Seed: seed, KeepPackets: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := simulationDigest(ds)
+				if os.Getenv("GOLDEN_PRINT") != "" {
+					t.Logf("golden %q: %s", key, got)
+					return
+				}
+				want, ok := simulationGoldens[key]
+				if !ok {
+					t.Fatalf("no golden recorded for %q (got %s)", key, got)
+				}
+				if got != want {
+					t.Errorf("simulation output diverged from the pre-swap implementation\n got %s\nwant %s", got, want)
+				}
+			})
+		}
+	}
+}

@@ -52,6 +52,10 @@ type Recursive struct {
 	nextID  uint16
 	pending map[uint16]*inflight
 
+	// qmsg is the upstream-query scratch; sendQuery encodes it into a
+	// pooled payload buffer before returning.
+	qmsg dnswire.Message
+
 	// Stats.
 	Resolutions     uint64 // Resolve calls
 	UpstreamQueries uint64 // upstream query packets (all legs, incl. retries)
@@ -79,7 +83,7 @@ type inflight struct {
 	qname    string
 	server   ipv4.Addr
 	attempts int
-	timer    *netsim.Timer
+	timer    netsim.Timer
 	done     func(Result)
 	depth    int
 	finished bool
@@ -180,17 +184,23 @@ func (r *Recursive) query(qname string, server ipv4.Addr, done func(Result), dep
 }
 
 func (r *Recursive) sendQuery(id uint16, qname string, server ipv4.Addr) {
-	q := dnswire.NewQuery(id, qname, dnswire.TypeA)
-	q.Header.RD = false // iterative legs
+	q := &r.qmsg
+	q.Header = dnswire.Header{ID: id} // RD clear: iterative legs
+	q.Questions = append(q.Questions[:0], dnswire.Question{
+		Name: dnswire.CanonicalName(qname), Type: dnswire.TypeA, Class: dnswire.ClassIN,
+	})
+	q.Answers = q.Answers[:0]
+	q.Authority = q.Authority[:0]
+	q.Additional = q.Additional[:0]
 	if r.DNSSEC {
 		q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.DefaultEDNSSize, DO: true})
 	}
-	wire, err := q.Pack()
+	wire, err := q.Append(r.node.PayloadBuf())
 	if err != nil {
 		return
 	}
 	r.UpstreamQueries++
-	r.node.Send(server, DNSPort, DNSPort, wire)
+	r.node.SendPooled(server, DNSPort, DNSPort, wire)
 }
 
 func (r *Recursive) onTimeout(id uint16) {

@@ -36,6 +36,9 @@ type Referral struct {
 type ReferralServer struct {
 	node      *netsim.Node
 	referrals []Referral
+
+	// Per-packet scratch; handlers finish with both before returning.
+	qmsg, respMsg dnswire.Message
 }
 
 // NewReferralServer registers a referral server at addr on sim.
@@ -50,11 +53,12 @@ func (s *ReferralServer) Addr() ipv4.Addr { return s.node.Addr() }
 
 // HandleDatagram implements netsim.Host.
 func (s *ReferralServer) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
-	q, err := dnswire.Unpack(dg.Payload)
-	if err != nil || q.Header.QR {
+	q := &s.qmsg
+	if err := dnswire.UnpackInto(q, dg.Payload); err != nil || q.Header.QR {
 		return
 	}
-	resp := dnswire.NewResponse(q)
+	resp := &s.respMsg
+	dnswire.NewResponseInto(resp, q)
 	qst, ok := q.Question1()
 	if !ok {
 		resp.Header.Rcode = dnswire.RcodeFormErr
@@ -79,12 +83,14 @@ func (s *ReferralServer) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 	reply(n, dg, resp)
 }
 
+// reply encodes resp into a pooled payload buffer and returns it to the
+// query's source; the buffer is recycled once the receiver is done with it.
 func reply(n *netsim.Node, dg netsim.Datagram, resp *dnswire.Message) {
-	wire, err := resp.Pack()
+	wire, err := resp.Append(n.PayloadBuf())
 	if err != nil {
 		return
 	}
-	n.Send(dg.Src, dg.DstPort, dg.SrcPort, wire)
+	n.SendPooled(dg.Src, dg.DstPort, dg.SrcPort, wire)
 }
 
 // AuthServer is the measurement's authoritative name server: it serves the
@@ -104,6 +110,10 @@ type AuthServer struct {
 	reloadTime    time.Duration
 	reloadUntil   time.Duration
 	reloads       int
+
+	// Per-packet scratch for the UDP path (the TCP path shares respMsg;
+	// both encode before the next decode).
+	qmsg, respMsg dnswire.Message
 
 	// Stats.
 	queries   uint64
@@ -163,11 +173,10 @@ func (s *AuthServer) acceptTCP(c *netsim.Conn) {
 				continue
 			}
 			s.queries++
-			resp, served := s.buildResponse(q)
-			if !served {
+			if !s.buildResponseInto(&s.respMsg, q) {
 				continue
 			}
-			wire, err := resp.PackTCP()
+			wire, err := s.respMsg.PackTCP()
 			if err != nil {
 				continue
 			}
@@ -203,23 +212,23 @@ func (s *AuthServer) SetCluster(c int) {
 	s.reloadUntil = s.node.Now() + s.reloadTime
 }
 
-// HandleDatagram implements netsim.Host (the UDP service).
+// HandleDatagram implements netsim.Host (the UDP service). Scratch decode
+// and encode: the tap observers copy what they keep before returning.
 func (s *AuthServer) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
-	q, err := dnswire.Unpack(dg.Payload)
-	if err != nil || q.Header.QR {
+	q := &s.qmsg
+	if err := dnswire.UnpackInto(q, dg.Payload); err != nil || q.Header.QR {
 		return
 	}
 	s.queries++
 	if s.tap != nil {
 		s.tap.Packet(true, n.Now(), dg, q)
 	}
-	resp, served := s.buildResponse(q)
-	if !served {
+	if !s.buildResponseInto(&s.respMsg, q) {
 		return
 	}
 	// UDP responses honor the client's EDNS budget (RFC 1035 §4.2.1 /
 	// RFC 6891); oversized answers truncate and set TC.
-	wire, err := resp.TruncateTo(q.MaxResponseSize())
+	wire, err := s.respMsg.AppendTruncated(n.PayloadBuf(), q.MaxResponseSize())
 	if err != nil {
 		return
 	}
@@ -228,19 +237,19 @@ func (s *AuthServer) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 		s.tap.Packet(false, n.Now(), netsim.Datagram{
 			Src: n.Addr(), Dst: dg.Src, SrcPort: dg.DstPort, DstPort: dg.SrcPort,
 			Payload: wire,
-		}, resp)
+		}, &s.respMsg)
 	}
-	n.Send(dg.Src, dg.DstPort, dg.SrcPort, wire)
+	n.SendPooled(dg.Src, dg.DstPort, dg.SrcPort, wire)
 }
 
-// buildResponse constructs the answer for one query; served is false while
-// a zone reload keeps the server silent.
-func (s *AuthServer) buildResponse(q *dnswire.Message) (*dnswire.Message, bool) {
+// buildResponseInto constructs the answer for one query into resp; it
+// returns false while a zone reload keeps the server silent.
+func (s *AuthServer) buildResponseInto(resp *dnswire.Message, q *dnswire.Message) bool {
 	if s.node.Now() < s.reloadUntil {
 		// Zone load in progress: BIND answers nothing.
-		return nil, false
+		return false
 	}
-	resp := dnswire.NewResponse(q)
+	dnswire.NewResponseInto(resp, q)
 	qst, ok := q.Question1()
 	switch {
 	case !ok:
@@ -273,5 +282,5 @@ func (s *AuthServer) buildResponse(q *dnswire.Message) (*dnswire.Message, bool) 
 			}
 		}
 	}
-	return resp, true
+	return true
 }

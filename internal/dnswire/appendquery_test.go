@@ -1,0 +1,87 @@
+package dnswire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendQueryMatchesNewQuery pins the zero-alloc query encoder to the
+// allocating reference path: for any (id, name, type), AppendQuery must
+// produce exactly the bytes of NewQuery(...).Pack(), and fail exactly when
+// it fails.
+func TestAppendQueryMatchesNewQuery(t *testing.T) {
+	names := []string{
+		"example.com",
+		"x0.c1.ucfsealresearch.net",
+		"x4999.c3.ucfsealresearch.net",
+		".",
+		"",
+		"a.b.c.d.e.f",
+		"single",
+		strings.Repeat("a", 63) + ".net", // max label: valid
+		strings.Repeat("a", 64) + ".net", // label too long: error
+		strings.Repeat("abcdefgh.", 28) + "toolong.", // >255 octets: error
+	}
+	for _, name := range names {
+		for _, typ := range []Type{TypeA, TypeTXT} {
+			want, wantErr := NewQuery(0x1234, name, typ).Pack()
+			got, gotErr := AppendQuery(nil, 0x1234, []byte(name), typ)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Errorf("%q: Pack err %v, AppendQuery err %v", name, wantErr, gotErr)
+				continue
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%q type %v: wire mismatch\n got %x\nwant %x", name, typ, got, want)
+			}
+		}
+	}
+
+	// Appending onto a non-empty buffer must preserve the prefix.
+	prefix := []byte("prefix")
+	out, err := AppendQuery(append([]byte(nil), prefix...), 7, []byte("probe.net"), TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("prefix clobbered: %x", out)
+	}
+	want, _ := NewQuery(7, "probe.net", TypeA).Pack()
+	if !bytes.Equal(out[len(prefix):], want) {
+		t.Fatalf("suffix mismatch:\n got %x\nwant %x", out[len(prefix):], want)
+	}
+
+	// Property check over arbitrary ids and label contents.
+	f := func(id uint16, l1, l2 []byte) bool {
+		name := sanitizeLabel(l1) + "." + sanitizeLabel(l2) + ".net"
+		want, wantErr := NewQuery(id, name, TypeA).Pack()
+		got, gotErr := AppendQuery(nil, id, []byte(name), TypeA)
+		if (wantErr == nil) != (gotErr == nil) {
+			return false
+		}
+		return wantErr != nil || bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeLabel maps arbitrary bytes into a dot- and escape-free label so
+// the property check compares encodings, not escape parsing.
+func sanitizeLabel(b []byte) string {
+	if len(b) == 0 {
+		return "x"
+	}
+	if len(b) > 70 {
+		b = b[:70] // keep some over-63 inputs to hit the error path
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = 'a' + c%26
+	}
+	return string(out)
+}

@@ -299,6 +299,26 @@ func readRRInto(rr *RR, msg []byte, off int) (int, error) {
 	return off, nil
 }
 
+// AppendQuery appends the wire form of a standard recursive query for
+// (name, t) — RD set, one question, class IN — to dst, returning the
+// extended slice. It is the zero-alloc equivalent of
+// NewQuery(id, string(name), t).Pack() for names already in canonical form
+// (lowercase, no trailing dot), which every generated probe name is; RFC
+// 1035 §5.1 escapes are honored exactly as in Pack.
+func AppendQuery(dst []byte, id uint16, name []byte, t Type) ([]byte, error) {
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	binary.BigEndian.PutUint16(hdr[2:], flagRD)
+	hdr[5] = 1 // QDCount
+	dst = append(dst, hdr[:]...)
+	var err error
+	if dst, err = appendNameBytes(dst, name); err != nil {
+		return nil, fmt.Errorf("question %q: %w", name, err)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(t))
+	return binary.BigEndian.AppendUint16(dst, uint16(ClassIN)), nil
+}
+
 // NewQuery builds a standard recursive query for (name, type), matching the
 // probe queries of the measurement: RD set, one question, class IN.
 func NewQuery(id uint16, name string, t Type) *Message {
@@ -317,6 +337,18 @@ func NewResponse(q *Message) *Message {
 	}
 	resp.Questions = append(resp.Questions, q.Questions...)
 	return resp
+}
+
+// NewResponseInto is NewResponse writing into resp, reusing its section
+// slices across calls — the per-packet reply path of the simulated servers.
+// resp must not alias q and encodes byte-identically to NewResponse(q) (a
+// cleared section is length-0 rather than nil, which packs the same).
+func NewResponseInto(resp, q *Message) {
+	resp.Header = Header{ID: q.Header.ID, QR: true, RD: q.Header.RD}
+	resp.Questions = append(resp.Questions[:0], q.Questions...)
+	resp.Answers = resp.Answers[:0]
+	resp.Authority = resp.Authority[:0]
+	resp.Additional = resp.Additional[:0]
 }
 
 // AnswerA appends an A record answering the first question with addr.

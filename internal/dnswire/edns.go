@@ -85,21 +85,29 @@ func (m *Message) MaxResponseSize() int {
 // truncated response signals the client to retry over TCP). It returns the
 // packed wire form.
 func (m *Message) TruncateTo(maxSize int) ([]byte, error) {
-	wire, err := m.Pack()
+	return m.AppendTruncated(make([]byte, 0, 128), maxSize)
+}
+
+// AppendTruncated is TruncateTo appending into dst (only bytes past the
+// existing length count against maxSize), for callers reusing a scratch or
+// pooled buffer on the per-packet reply path.
+func (m *Message) AppendTruncated(dst []byte, maxSize int) ([]byte, error) {
+	base := len(dst)
+	wire, err := m.Append(dst)
 	if err != nil {
 		return nil, err
 	}
-	if len(wire) <= maxSize {
+	if len(wire)-base <= maxSize {
 		return wire, nil
 	}
 	m.Header.TC = true
 	for len(m.Answers) > 0 {
 		m.Answers = m.Answers[:len(m.Answers)-1]
-		wire, err = m.Pack()
+		wire, err = m.Append(wire[:base])
 		if err != nil {
 			return nil, err
 		}
-		if len(wire) <= maxSize {
+		if len(wire)-base <= maxSize {
 			return wire, nil
 		}
 	}

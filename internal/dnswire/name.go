@@ -41,12 +41,22 @@ func CanonicalName(name string) string {
 // paper's flows require it and many deployed resolvers never emit pointers
 // either; decoding (below) accepts compressed names from any peer.
 func appendName(dst []byte, name string) ([]byte, error) {
-	if name == "" || name == "." {
+	return appendNameAny(dst, name)
+}
+
+// appendNameBytes is appendName for names held in byte slices (the zero-
+// alloc probe-name path); the encodings are identical.
+func appendNameBytes(dst, name []byte) ([]byte, error) {
+	return appendNameAny(dst, name)
+}
+
+func appendNameAny[T string | []byte](dst []byte, name T) ([]byte, error) {
+	if len(name) == 0 || (len(name) == 1 && name[0] == '.') {
 		return append(dst, 0), nil
 	}
 	// Trim one trailing dot, but only if it is a real separator (an even
 	// number of backslashes precedes it).
-	if strings.HasSuffix(name, ".") {
+	if name[len(name)-1] == '.' {
 		bs := 0
 		for i := len(name) - 2; i >= 0 && name[i] == '\\'; i-- {
 			bs++
@@ -55,58 +65,78 @@ func appendName(dst []byte, name string) ([]byte, error) {
 			name = name[:len(name)-1]
 		}
 	}
+	// Label bytes go straight into dst behind a placeholder length octet
+	// that is backpatched at each separator: no per-call scratch, no
+	// closure — the hot probe-encode path must stay allocation-free.
 	wireLen := 1 // terminating root octet
-	var label []byte
-	flush := func() error {
-		if len(label) == 0 {
-			return fmt.Errorf("%w in %q", ErrEmptyLabel, name)
-		}
-		if len(label) > maxLabelWire {
-			return fmt.Errorf("%w: %q", ErrLabelTooLong, label)
-		}
-		wireLen += 1 + len(label)
-		if wireLen > maxNameWire {
-			return fmt.Errorf("%w: %q", ErrNameTooLong, name)
-		}
-		dst = append(dst, byte(len(label)))
-		dst = append(dst, label...)
-		label = label[:0]
-		return nil
-	}
+	lenPos := len(dst)
+	dst = append(dst, 0)
 	for i := 0; i < len(name); i++ {
 		c := name[i]
 		switch {
 		case c == '\\':
 			if i+1 >= len(name) {
-				return nil, fmt.Errorf("dnswire: dangling escape in %q", name)
+				return nil, fmt.Errorf("dnswire: dangling escape in %q", string(name))
 			}
 			next := name[i+1]
 			if next >= '0' && next <= '9' {
 				if i+3 >= len(name) || !isDigit(name[i+2]) || !isDigit(name[i+3]) {
-					return nil, fmt.Errorf("dnswire: bad \\DDD escape in %q", name)
+					return nil, fmt.Errorf("dnswire: bad \\DDD escape in %q", string(name))
 				}
 				v := int(next-'0')*100 + int(name[i+2]-'0')*10 + int(name[i+3]-'0')
 				if v > 255 {
-					return nil, fmt.Errorf("dnswire: \\DDD escape %d out of range in %q", v, name)
+					return nil, fmt.Errorf("dnswire: \\DDD escape %d out of range in %q", v, string(name))
 				}
-				label = append(label, byte(v))
+				dst = append(dst, byte(v))
 				i += 3
 				continue
 			}
-			label = append(label, next)
+			dst = append(dst, next)
 			i++
 		case c == '.':
-			if err := flush(); err != nil {
-				return nil, err
+			var err error
+			if wireLen, err = closeLabel(dst, lenPos, wireLen); err != nil {
+				return nil, nameErr(err, string(name))
 			}
+			lenPos = len(dst)
+			dst = append(dst, 0)
 		default:
-			label = append(label, c)
+			dst = append(dst, c)
 		}
 	}
-	if err := flush(); err != nil {
-		return nil, err
+	if _, err := closeLabel(dst, lenPos, wireLen); err != nil {
+		return nil, nameErr(err, string(name))
 	}
 	return append(dst, 0), nil
+}
+
+// closeLabel validates the label written at dst[lenPos+1:] and backpatches
+// its length octet, returning the updated running wire length.
+func closeLabel(dst []byte, lenPos, wireLen int) (int, error) {
+	n := len(dst) - lenPos - 1
+	if n == 0 {
+		return 0, ErrEmptyLabel
+	}
+	if n > maxLabelWire {
+		return 0, fmt.Errorf("%w: %q", ErrLabelTooLong, dst[lenPos+1:])
+	}
+	wireLen += 1 + n
+	if wireLen > maxNameWire {
+		return 0, ErrNameTooLong
+	}
+	dst[lenPos] = byte(n)
+	return wireLen, nil
+}
+
+// nameErr attaches the offending name to closeLabel's bare sentinels.
+func nameErr(err error, name string) error {
+	switch {
+	case errors.Is(err, ErrEmptyLabel):
+		return fmt.Errorf("%w in %q", ErrEmptyLabel, name)
+	case errors.Is(err, ErrNameTooLong):
+		return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	return err
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }

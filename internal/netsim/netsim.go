@@ -10,11 +10,18 @@
 // event at the head of the queue is executed, so a campaign that takes "10
 // hours and 35 minutes" of virtual time (the paper's Table II) completes in
 // seconds of wall-clock time.
+//
+// The event loop is allocation-free in steady state: the priority queue is
+// a hand-rolled 4-ary min-heap over event values (no container/heap `any`
+// boxing), timers live in pooled slots invalidated by generation counters,
+// hosts sit in a flat open-addressed table backed by a chunked Node arena,
+// and datagram payload buffers can be recycled through a pool via
+// Node.PayloadBuf / Node.SendPooled.
 package netsim
 
 import (
-	"container/heap"
 	"errors"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -84,15 +91,43 @@ type Stats struct {
 	StreamBytes uint64 // bytes carried over stream (TCP-like) connections
 }
 
+// Spawner is invoked when a datagram arrives for an unregistered address.
+// It may Register a host for addr (returning true to request a re-lookup),
+// letting a simulation with millions of notional hosts instantiate each one
+// lazily on first contact instead of eagerly up front. Returning false (or
+// not registering addr) lets the datagram count as NoRoute as usual.
+type Spawner func(addr ipv4.Addr) bool
+
 // Sim is a discrete-event network simulation.
 type Sim struct {
-	cfg       Config
-	now       time.Duration
-	rng       *rand.Rand
-	events    eventHeap
-	seq       uint64
-	hosts     map[ipv4.Addr]*Node
+	cfg Config
+	now time.Duration
+	rng *rand.Rand
+
+	// events is a 4-ary min-heap ordered by (at, seq).
+	events []event
+	seq    uint64
+
+	// timers are pooled callback slots addressed by event.slot; a slot's
+	// generation is bumped on Stop and on fire so stale handles and lazily
+	// deleted queue entries are detected without touching the heap.
+	timers     []timerSlot
+	freeTimers []int32
+
+	// Open-addressed host table: slots map addr → arena index, the arena is
+	// chunked so *Node pointers stay stable as it grows. Slots are linear-
+	// probed; idx < 0 marks empty/tombstone.
+	slots     []hostSlot
+	mask      uint32
+	shift     uint32
+	live      int // registered hosts
+	used      int // live + tombstones (probe-chain occupancy)
+	nodes     [][]Node
+	nodeCount int
+
+	spawner   Spawner
 	listeners map[listenerKey]StreamAccept
+	payloads  [][]byte // recycled datagram payload buffers
 	stats     Stats
 }
 
@@ -105,9 +140,8 @@ func New(cfg Config) *Sim {
 		cfg.Latency = ConstantLatency(20 * time.Millisecond)
 	}
 	return &Sim{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		hosts: make(map[ipv4.Addr]*Node),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -121,75 +155,228 @@ func (s *Sim) Stats() Stats { return s.stats }
 // be used from within event handlers (the simulator is single-threaded).
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// SetSpawner installs the lazy host instantiation hook. Pass nil to remove.
+func (s *Sim) SetSpawner(fn Spawner) { s.spawner = fn }
+
+// --- host table ---------------------------------------------------------
+
+const (
+	slotEmpty = int32(-1)
+	slotTomb  = int32(-2)
+
+	nodeChunkBits = 14
+	nodeChunkSize = 1 << nodeChunkBits
+)
+
+type hostSlot struct {
+	addr ipv4.Addr
+	idx  int32
+}
+
+func (s *Sim) hashIndex(addr ipv4.Addr) uint32 {
+	// Fibonacci hashing; the high bits are well mixed, so index by them.
+	return (uint32(addr) * 0x9E3779B9) >> s.shift
+}
+
+// findSlot returns the slot index holding addr, or -1.
+func (s *Sim) findSlot(addr ipv4.Addr) int {
+	if len(s.slots) == 0 {
+		return -1
+	}
+	i := s.hashIndex(addr)
+	for {
+		sl := &s.slots[i]
+		if sl.idx == slotEmpty {
+			return -1
+		}
+		if sl.idx >= 0 && sl.addr == addr {
+			return int(i)
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *Sim) nodeAt(idx int32) *Node {
+	return &s.nodes[idx>>nodeChunkBits][idx&(nodeChunkSize-1)]
+}
+
+// grow doubles the slot table (16 minimum) and rehashes live entries,
+// discarding tombstones.
+func (s *Sim) grow() {
+	newCap := 16
+	if len(s.slots) > 0 {
+		newCap = len(s.slots) * 2
+	}
+	old := s.slots
+	s.slots = make([]hostSlot, newCap)
+	for i := range s.slots {
+		s.slots[i].idx = slotEmpty
+	}
+	s.mask = uint32(newCap - 1)
+	s.shift = uint32(32 - bits.TrailingZeros32(uint32(newCap)))
+	s.used = s.live
+	for _, sl := range old {
+		if sl.idx < 0 {
+			continue
+		}
+		i := s.hashIndex(sl.addr)
+		for s.slots[i].idx != slotEmpty {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = sl
+	}
+}
+
+// insertSlot places (addr, idx) into the table; addr must not be present.
+func (s *Sim) insertSlot(addr ipv4.Addr, idx int32) {
+	// Keep probe-chain occupancy (live + tombstones) under 3/4 so every
+	// probe terminates at an empty slot.
+	if len(s.slots) == 0 || (s.used+1)*4 > len(s.slots)*3 {
+		s.grow()
+	}
+	i := s.hashIndex(addr)
+	tomb := -1
+	for {
+		sl := &s.slots[i]
+		if sl.idx == slotEmpty {
+			if tomb >= 0 {
+				s.slots[tomb] = hostSlot{addr: addr, idx: idx}
+			} else {
+				*sl = hostSlot{addr: addr, idx: idx}
+				s.used++
+			}
+			s.live++
+			return
+		}
+		if sl.idx == slotTomb && tomb < 0 {
+			tomb = int(i)
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
 // Register attaches host at addr and returns its Node handle. Registering
 // an address twice replaces the previous host but preserves the Node
 // identity seen by pending timers.
 func (s *Sim) Register(addr ipv4.Addr, h Host) *Node {
-	if n, ok := s.hosts[addr]; ok {
+	if si := s.findSlot(addr); si >= 0 {
+		n := s.nodeAt(s.slots[si].idx)
 		n.host = h
 		return n
 	}
-	n := &Node{sim: s, addr: addr, host: h}
-	s.hosts[addr] = n
+	idx := int32(s.nodeCount)
+	if s.nodeCount>>nodeChunkBits == len(s.nodes) {
+		s.nodes = append(s.nodes, make([]Node, nodeChunkSize))
+	}
+	s.nodeCount++
+	n := s.nodeAt(idx)
+	*n = Node{sim: s, addr: addr, host: h}
+	s.insertSlot(addr, idx)
 	return n
 }
 
 // Unregister detaches the host at addr; packets to it then count as NoRoute.
+// The detached Node stays valid for stale handles (its arena slot is never
+// recycled); re-registering the address yields a fresh Node.
 func (s *Sim) Unregister(addr ipv4.Addr) {
-	delete(s.hosts, addr)
+	if si := s.findSlot(addr); si >= 0 {
+		s.slots[si].idx = slotTomb
+		s.live--
+	}
 }
 
 // Lookup returns the node registered at addr, if any.
 func (s *Sim) Lookup(addr ipv4.Addr) (*Node, bool) {
-	n, ok := s.hosts[addr]
-	return n, ok
+	si := s.findSlot(addr)
+	if si < 0 {
+		return nil, false
+	}
+	return s.nodeAt(s.slots[si].idx), true
 }
 
 // NumHosts returns the number of registered hosts.
-func (s *Sim) NumHosts() int { return len(s.hosts) }
+func (s *Sim) NumHosts() int { return s.live }
 
-// send enqueues delivery of dg subject to loss and latency.
-func (s *Sim) send(dg Datagram) {
+// --- payload pool -------------------------------------------------------
+
+// getPayload returns a zero-length recycled buffer (or a fresh one).
+func (s *Sim) getPayload() []byte {
+	if n := len(s.payloads); n > 0 {
+		b := s.payloads[n-1]
+		s.payloads = s.payloads[:n-1]
+		return b
+	}
+	return make([]byte, 0, 512)
+}
+
+func (s *Sim) putPayload(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	s.payloads = append(s.payloads, b[:0])
+}
+
+// --- sending ------------------------------------------------------------
+
+// send enqueues delivery of dg subject to loss and latency. If pooled, the
+// payload buffer is recycled once the datagram is consumed.
+func (s *Sim) send(dg Datagram, pooled bool) {
 	s.stats.Sent++
 	if s.cfg.Loss > 0 && s.rng.Float64() < s.cfg.Loss {
 		s.stats.Lost++
+		if pooled {
+			s.putPayload(dg.Payload)
+		}
 		return
 	}
 	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng)
-	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg})
-}
-
-func (s *Sim) schedule(at time.Duration, ev event) {
-	ev.at = at
-	ev.seq = s.seq
-	s.seq++
-	heap.Push(&s.events, ev)
+	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg, pooled: pooled})
 }
 
 // Step executes the next event. It returns false when the queue is empty.
 func (s *Sim) Step() (bool, error) {
-	if s.cfg.MaxQueuedEvents > 0 && s.events.Len() > s.cfg.MaxQueuedEvents {
+	if s.cfg.MaxQueuedEvents > 0 && len(s.events) > s.cfg.MaxQueuedEvents {
 		return false, ErrEventQueueFull
 	}
-	if s.events.Len() == 0 {
+	if len(s.events) == 0 {
 		return false, nil
 	}
-	ev := heap.Pop(&s.events).(event)
+	ev := s.popEvent()
 	s.now = ev.at
 	switch ev.kind {
 	case evDeliver:
-		n, ok := s.hosts[ev.dg.Dst]
+		n, ok := s.Lookup(ev.dg.Dst)
+		if !ok && s.spawner != nil && s.spawner(ev.dg.Dst) {
+			n, ok = s.Lookup(ev.dg.Dst)
+		}
 		if !ok {
 			s.stats.NoRoute++
+			if ev.pooled {
+				s.putPayload(ev.dg.Payload)
+			}
 			return true, nil
 		}
 		s.stats.Delivered++
 		n.host.HandleDatagram(n, ev.dg)
+		if ev.pooled {
+			s.putPayload(ev.dg.Payload)
+		}
 	case evTimer:
 		s.stats.Timers++
-		if !ev.timer.stopped {
-			ev.timer.fn()
+		sl := &s.timers[ev.slot]
+		if sl.gen != ev.gen {
+			// Lazily deleted: Stop invalidated the slot; the popped event
+			// was its sole owner, so the slot is free for reuse now.
+			s.freeTimers = append(s.freeTimers, ev.slot)
+			return true, nil
 		}
+		fn := sl.fn
+		sl.fn = nil
+		sl.gen++
+		s.freeTimers = append(s.freeTimers, ev.slot)
+		// fn may arm new timers and grow s.timers; all slot bookkeeping is
+		// done before the call so reentrancy is safe.
+		fn()
 	}
 	return true, nil
 }
@@ -198,7 +385,7 @@ func (s *Sim) Step() (bool, error) {
 // (a virtual time) is passed. A zero deadline means run to quiescence.
 func (s *Sim) Run(deadline time.Duration) error {
 	for {
-		if deadline > 0 && s.events.Len() > 0 && s.events[0].at > deadline {
+		if deadline > 0 && len(s.events) > 0 && s.events[0].at > deadline {
 			s.now = deadline
 			return nil
 		}
@@ -212,14 +399,54 @@ func (s *Sim) Run(deadline time.Duration) error {
 	}
 }
 
-// Timer is a cancellable scheduled callback.
-type Timer struct {
-	stopped bool
-	fn      func()
+// --- timers -------------------------------------------------------------
+
+// timerSlot is a pooled callback cell. gen detects stale Timer handles and
+// lazily deleted queue entries: it is bumped on Stop and on fire, so a
+// handle or event carrying an older generation is ignored.
+type timerSlot struct {
+	fn  func()
+	gen uint32
 }
 
-// Stop cancels the timer if it has not fired.
-func (t *Timer) Stop() { t.stopped = true }
+// Timer is a cancellable scheduled callback. The zero value is inert.
+type Timer struct {
+	s    *Sim
+	slot int32
+	gen  uint32
+}
+
+// Stop cancels the timer if it has not fired. Stopping an already-fired or
+// zero Timer is a no-op. The queue entry is deleted lazily: it stays in the
+// heap and is discarded (still counted in Stats.Timers) when popped.
+func (t Timer) Stop() {
+	if t.s == nil {
+		return
+	}
+	sl := &t.s.timers[t.slot]
+	if sl.gen == t.gen {
+		sl.gen++
+		sl.fn = nil
+	}
+}
+
+// afterFunc schedules fn on the simulation clock and returns its handle.
+func (s *Sim) afterFunc(d time.Duration, fn func()) Timer {
+	var slot int32
+	if n := len(s.freeTimers); n > 0 {
+		slot = s.freeTimers[n-1]
+		s.freeTimers = s.freeTimers[:n-1]
+		s.timers[slot].fn = fn
+	} else {
+		slot = int32(len(s.timers))
+		s.timers = append(s.timers, timerSlot{fn: fn})
+	}
+	gen := s.timers[slot].gen
+	s.schedule(s.now+d, event{kind: evTimer, slot: slot, gen: gen})
+	return Timer{s: s, slot: slot, gen: gen}
+}
+
+// --- node ---------------------------------------------------------------
 
 // Node is a host's handle onto the network: its identity, its clock, and
 // its transmit/timer facilities.
@@ -244,7 +471,7 @@ func (n *Node) Send(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) {
 		Src: n.addr, Dst: dst,
 		SrcPort: srcPort, DstPort: dstPort,
 		Payload: payload,
-	})
+	}, false)
 }
 
 // SendSpoofed transmits a datagram with a forged source address — the
@@ -254,24 +481,44 @@ func (n *Node) SendSpoofed(src, dst ipv4.Addr, srcPort, dstPort uint16, payload 
 		Src: src, Dst: dst,
 		SrcPort: srcPort, DstPort: dstPort,
 		Payload: payload,
-	})
+	}, false)
+}
+
+// PayloadBuf returns a zero-length scratch buffer from the simulation's
+// payload pool, for building a packet to pass to SendPooled.
+func (n *Node) PayloadBuf() []byte { return n.sim.getPayload() }
+
+// SendPooled is Send for payloads built in a PayloadBuf buffer: the buffer
+// is returned to the pool once the datagram is consumed (delivered and the
+// receiving handler has returned, lost, or dead-lettered). The receiver
+// must not retain the payload slice beyond its HandleDatagram call — every
+// consumer in this codebase decodes or copies it synchronously.
+func (n *Node) SendPooled(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) {
+	n.sim.send(Datagram{
+		Src: n.addr, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	}, true)
 }
 
 // After schedules fn to run after d of virtual time and returns a handle
 // that can cancel it.
-func (n *Node) After(d time.Duration, fn func()) *Timer {
-	t := &Timer{fn: fn}
-	n.sim.schedule(n.sim.now+d, event{kind: evTimer, timer: t})
-	return t
+func (n *Node) After(d time.Duration, fn func()) Timer {
+	return n.sim.afterFunc(d, fn)
 }
+
+// --- event queue --------------------------------------------------------
 
 // event is one entry of the simulation's priority queue.
 type event struct {
-	at    time.Duration
-	seq   uint64 // FIFO tie-break for equal timestamps: determinism
-	kind  evKind
-	dg    Datagram
-	timer *Timer
+	at   time.Duration
+	seq  uint64 // FIFO tie-break for equal timestamps: determinism
+	dg   Datagram
+	slot int32  // timer slot (evTimer)
+	gen  uint32 // timer generation at scheduling time (evTimer)
+	kind evKind
+	// pooled marks dg.Payload as pool-owned (evDeliver).
+	pooled bool
 }
 
 type evKind uint8
@@ -281,24 +528,66 @@ const (
 	evTimer
 )
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+// schedule stamps ev with (at, seq) and pushes it onto the 4-ary heap. The
+// (at, seq) key is a total order, so the pop sequence — and with it the
+// whole run — is independent of the heap's internal layout.
+func (s *Sim) schedule(at time.Duration, ev event) {
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	s.events = append(s.events, ev)
+	// Sift up.
+	e := s.events
+	i := len(e) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(&e[i], &e[p]) {
+			break
+		}
+		e[i], e[p] = e[p], e[i]
+		i = p
+	}
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+// popEvent removes and returns the minimum event. The queue must be
+// non-empty.
+func (s *Sim) popEvent() event {
+	e := s.events
+	top := e[0]
+	n := len(e) - 1
+	e[0] = e[n]
+	e[n] = event{} // drop payload reference
+	e = e[:n]
+	s.events = e
+	// Sift down.
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(&e[j], &e[m]) {
+				m = j
+			}
+		}
+		if !eventLess(&e[m], &e[i]) {
+			break
+		}
+		e[i], e[m] = e[m], e[i]
+		i = m
+	}
+	return top
 }

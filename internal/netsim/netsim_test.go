@@ -274,6 +274,45 @@ func BenchmarkEventThroughput(b *testing.B) {
 	_ = s.Run(0)
 }
 
+// BenchmarkTimerEnqueueDequeue measures one push+pop through the event
+// queue with a realistic backlog (the prober keeps thousands of timeout
+// timers pending at any instant).
+func BenchmarkTimerEnqueueDequeue(b *testing.B) {
+	s := New(Config{Seed: 1})
+	n := s.Register(addrA, HostFunc(func(*Node, Datagram) {}))
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		n.After(time.Hour+time.Duration(i)*time.Second, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.After(time.Duration(i%16)*time.Microsecond, fn)
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostLookup measures address routing over a population-scale
+// host table.
+func BenchmarkHostLookup(b *testing.B) {
+	s := New(Config{Seed: 2})
+	const n = 1 << 16
+	base := ipv4.Addr(0x0B000000)
+	h := HostFunc(func(*Node, Datagram) {})
+	for i := 0; i < n; i++ {
+		s.Register(base+ipv4.Addr(i*2654435761), h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(base + ipv4.Addr(i%n*2654435761)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
 func TestManyHostsStress(t *testing.T) {
 	// 20k hosts exchanging a burst each: the event queue and router must
 	// stay correct at population scale.

@@ -60,7 +60,7 @@ func (c *Conn) Send(data []byte) {
 	delay := c.sim.cfg.Latency(c.local, c.remote, c.sim.rng)
 	c.sim.stats.Sent++
 	c.sim.stats.StreamBytes += uint64(len(payload))
-	c.sim.schedule(c.sim.now+delay, event{kind: evTimer, timer: &Timer{fn: func() {
+	c.sim.afterFunc(delay, func() {
 		if peer.closed {
 			return
 		}
@@ -68,7 +68,7 @@ func (c *Conn) Send(data []byte) {
 		if peer.onData != nil {
 			peer.onData(payload)
 		}
-	}}})
+	})
 }
 
 // Close tears the connection down in both directions (after the latency of
@@ -83,7 +83,7 @@ func (c *Conn) Close() {
 		return
 	}
 	delay := c.sim.cfg.Latency(c.local, c.remote, c.sim.rng)
-	c.sim.schedule(c.sim.now+delay, event{kind: evTimer, timer: &Timer{fn: func() {
+	c.sim.afterFunc(delay, func() {
 		if peer.closed {
 			return
 		}
@@ -91,7 +91,7 @@ func (c *Conn) Close() {
 		if peer.onClose != nil {
 			peer.onClose()
 		}
-	}}})
+	})
 }
 
 // Listen registers a stream acceptor at (addr, port). Registering twice
@@ -111,13 +111,13 @@ func (n *Node) Dial(dst ipv4.Addr, port uint16, connected func(c *Conn)) {
 	rtt := s.cfg.Latency(n.addr, dst, s.rng) + s.cfg.Latency(dst, n.addr, s.rng)
 	accept, ok := s.listeners[listenerKey{dst, port}]
 	if !ok {
-		s.schedule(s.now+rtt, event{kind: evTimer, timer: &Timer{fn: func() {
+		s.afterFunc(rtt, func() {
 			connected(nil)
-		}}})
+		})
 		return
 	}
 	local := n.addr
-	s.schedule(s.now+rtt, event{kind: evTimer, timer: &Timer{fn: func() {
+	s.afterFunc(rtt, func() {
 		client := &Conn{sim: s, local: local, remote: dst}
 		server := &Conn{sim: s, local: dst, remote: local}
 		client.peer, server.peer = server, client
@@ -125,5 +125,5 @@ func (n *Node) Dial(dst ipv4.Addr, port uint16, connected func(c *Conn)) {
 		// dialer's; both run at establishment time.
 		accept(server)
 		connected(client)
-	}}})
+	})
 }

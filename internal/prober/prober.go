@@ -8,6 +8,7 @@ package prober
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -65,8 +66,11 @@ type Prober struct {
 	// Subdomain pool for the active cluster.
 	cluster int
 	avail   []int // free subdomain indices (LIFO)
-	burned  map[int]bool
-	pending []pendingName // FIFO; deadlines are monotone
+	// burnedBits is a bitset over the active cluster's subdomain indices
+	// (the old map[int]bool); burnedCount is its population count.
+	burnedBits  []uint64
+	burnedCount int
+	pending     []pendingName // FIFO; deadlines are monotone
 
 	pauseUntil time.Duration
 	exhausted  bool
@@ -83,11 +87,24 @@ type Prober struct {
 	received uint64
 	reused   uint64
 
-	// sendTimes tracks outstanding probes' send instants (keyed by qname)
-	// for response-latency measurement; entries are dropped on response or
-	// timeout sweep.
-	sendTimes map[string]time.Duration
+	// sendAt[idx] is the send instant of the outstanding probe using
+	// subdomain idx of the active cluster, or -1 when idx is not in flight.
+	// A probe's qname is derivable from (cluster, idx), and every in-flight
+	// probe belongs to the active cluster — the pool only rotates once
+	// pending has drained — so this slice replaces the old qname-keyed
+	// sendTimes map. Entries are reset on response or timeout sweep.
+	sendAt    []time.Duration
 	latencies []time.Duration
+	// latSorted caches the sorted view of latencies for LatencyPercentiles;
+	// it is valid while its length matches latencies.
+	latSorted []time.Duration
+
+	// Steady-state scratch: probe qname bytes, outbound wire buffer source
+	// (the sim payload pool), inbound decode message, and the tick closure
+	// (pre-bound so re-arming the tick timer does not allocate).
+	nameBuf []byte
+	rmsg    dnswire.Message
+	tickFn  func()
 }
 
 type pendingName struct {
@@ -117,17 +134,16 @@ func Start(sim *netsim.Sim, cfg Config) (*Prober, error) {
 		cfg.Log = capture.NewProbeLog()
 	}
 	p := &Prober{
-		cfg:       cfg,
-		it:        cfg.Universe.Iterate(),
-		srcPort:   40000,
-		nextID:    1,
-		burned:    make(map[int]bool),
-		sendTimes: make(map[string]time.Duration),
+		cfg:     cfg,
+		it:      cfg.Universe.Iterate(),
+		srcPort: 40000,
+		nextID:  1,
 	}
+	p.tickFn = p.tick
 	p.node = sim.Register(cfg.Addr, p)
 	p.start = p.node.Now()
 	p.refillCluster(0)
-	p.node.After(0, p.tick)
+	p.node.After(0, p.tickFn)
 	return p, nil
 }
 
@@ -139,7 +155,22 @@ func (p *Prober) refillCluster(c int) {
 	for i := p.cfg.ClusterSize - 1; i >= 0; i-- {
 		p.avail = append(p.avail, i)
 	}
-	p.burned = make(map[int]bool)
+	words := (p.cfg.ClusterSize + 63) / 64
+	if cap(p.burnedBits) < words {
+		p.burnedBits = make([]uint64, words)
+	} else {
+		p.burnedBits = p.burnedBits[:words]
+		clear(p.burnedBits)
+	}
+	p.burnedCount = 0
+	if cap(p.sendAt) < p.cfg.ClusterSize {
+		p.sendAt = make([]time.Duration, p.cfg.ClusterSize)
+	} else {
+		p.sendAt = p.sendAt[:p.cfg.ClusterSize]
+	}
+	for i := range p.sendAt {
+		p.sendAt[i] = -1
+	}
 	if p.cfg.Auth != nil && c > 0 {
 		p.cfg.Auth.SetCluster(c)
 		// §III-B: loading 5M subdomains takes about a minute; the prober
@@ -155,6 +186,19 @@ const paperReloadPause = time.Minute
 // ClustersUsed returns how many clusters the campaign has consumed so far
 // (the §III-B "800 theoretical → 4 actual" metric).
 func (p *Prober) ClustersUsed() int { return p.cluster + 1 }
+
+// burn marks subdomain idx of the active cluster as answered (never reused).
+func (p *Prober) burn(idx int) {
+	w, bit := idx>>6, uint64(1)<<(idx&63)
+	if p.burnedBits[w]&bit == 0 {
+		p.burnedBits[w] |= bit
+		p.burnedCount++
+	}
+}
+
+func (p *Prober) isBurned(idx int) bool {
+	return p.burnedBits[idx>>6]&(uint64(1)<<(idx&63)) != 0
+}
 
 // Sent returns the number of probes transmitted (Q1).
 func (p *Prober) Sent() uint64 { return p.sent }
@@ -187,7 +231,7 @@ func (p *Prober) tick() {
 	// most of the pool is burned, loading a fresh cluster beats crawling on
 	// the remnant — the discipline that puts the paper's campaign at 4
 	// clusters rather than waiting out every last name.
-	if !p.exhausted && len(p.pending) == 0 && len(p.burned) > p.cfg.ClusterSize*3/4 {
+	if !p.exhausted && len(p.pending) == 0 && p.burnedCount > p.cfg.ClusterSize*3/4 {
 		p.refillCluster(p.cluster + 1)
 	}
 
@@ -212,7 +256,7 @@ func (p *Prober) tick() {
 		}
 		return
 	}
-	p.node.After(tickInterval, p.tick)
+	p.node.After(tickInterval, p.tickFn)
 }
 
 // sweep returns timed-out subdomains to the pool (subdomain reuse, §III-B).
@@ -223,13 +267,17 @@ func (p *Prober) sweep(now time.Duration) {
 		if pn.deadline > now {
 			break
 		}
-		if !p.cfg.DisableReuse && pn.cluster == p.cluster && !p.burned[pn.idx] {
-			p.avail = append(p.avail, pn.idx)
-			p.reused++
+		if pn.cluster == p.cluster {
+			if !p.cfg.DisableReuse && !p.isBurned(pn.idx) {
+				p.avail = append(p.avail, pn.idx)
+				p.reused++
+			}
+			p.sendAt[pn.idx] = -1
 		}
-		delete(p.sendTimes, dnssrv.FormatProbeName(pn.cluster, pn.idx, p.cfg.SLD))
 	}
-	p.pending = p.pending[i:]
+	// Compact in place so the backing array is reused steady-state.
+	n := copy(p.pending, p.pending[i:])
+	p.pending = p.pending[:n]
 }
 
 // sendOne transmits the next probe; it returns false when the batch should
@@ -263,20 +311,24 @@ func (p *Prober) sendOne(now time.Duration) bool {
 
 	idx := p.avail[len(p.avail)-1]
 	p.avail = p.avail[:len(p.avail)-1]
-	qname := dnssrv.FormatProbeName(p.cluster, idx, p.cfg.SLD)
-	q := dnswire.NewQuery(p.nextID, qname, dnswire.TypeA)
+	p.nameBuf = dnssrv.AppendProbeName(p.nameBuf[:0], p.cluster, idx, p.cfg.SLD)
+	id := p.nextID
 	p.nextID++
 	if p.nextID == 0 {
 		p.nextID = 1
 	}
-	wire, err := q.Pack()
+	wire, err := dnswire.AppendQuery(p.node.PayloadBuf(), id, p.nameBuf, dnswire.TypeA)
 	if err != nil {
+		// The name never hit the wire: return idx to the pool instead of
+		// leaking it (an unencodable SLD used to silently shrink every
+		// cluster by one subdomain per attempt).
+		p.avail = append(p.avail, idx)
 		return true
 	}
-	p.node.Send(target, p.srcPort, dnssrv.DNSPort, wire)
+	p.node.SendPooled(target, p.srcPort, dnssrv.DNSPort, wire)
 	p.sent++
 	p.cfg.Log.CountQ1(1)
-	p.sendTimes[qname] = now
+	p.sendAt[idx] = now
 	p.pending = append(p.pending, pendingName{idx: idx, cluster: p.cluster, deadline: now + p.cfg.Timeout})
 	return true
 }
@@ -288,23 +340,28 @@ func (p *Prober) Latencies() []time.Duration {
 }
 
 // LatencyPercentiles returns the given percentiles (0-100) of the observed
-// response latencies, or nil when nothing was measured.
+// response latencies by the nearest-rank method (rank = ceil(pct/100 × n),
+// clamped to [1, n]), or nil when nothing was measured. The sorted view is
+// cached across calls and refreshed only when new latencies have arrived.
 func (p *Prober) LatencyPercentiles(pcts ...float64) []time.Duration {
-	if len(p.latencies) == 0 {
+	n := len(p.latencies)
+	if n == 0 {
 		return nil
 	}
-	sorted := append([]time.Duration(nil), p.latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(p.latSorted) != n {
+		p.latSorted = append(p.latSorted[:0], p.latencies...)
+		sort.Slice(p.latSorted, func(i, j int) bool { return p.latSorted[i] < p.latSorted[j] })
+	}
 	out := make([]time.Duration, len(pcts))
 	for i, pct := range pcts {
-		idx := int(pct / 100 * float64(len(sorted)-1))
-		if idx < 0 {
-			idx = 0
+		rank := int(math.Ceil(pct / 100 * float64(n)))
+		if rank < 1 {
+			rank = 1
 		}
-		if idx >= len(sorted) {
-			idx = len(sorted) - 1
+		if rank > n {
+			rank = n
 		}
-		out[i] = sorted[idx]
+		out[i] = p.latSorted[rank-1]
 	}
 	return out
 }
@@ -315,16 +372,22 @@ func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 	p.received++
 	p.cfg.Log.AddR2(n.Now(), dg)
 	// Burn the subdomain so it is never reused (it may now be cached at
-	// the responding resolver) and record the response latency.
-	if msg, err := dnswire.Unpack(dg.Payload); err == nil {
-		if q, ok := msg.Question1(); ok {
-			if sent, ok := p.sendTimes[q.Name]; ok {
-				p.latencies = append(p.latencies, n.Now()-sent)
-				delete(p.sendTimes, q.Name)
-			}
-			if pn, err := dnssrv.ParseProbeName(q.Name, p.cfg.SLD); err == nil && pn.Cluster == p.cluster {
-				p.burned[pn.Index] = true
-			}
-		}
+	// the responding resolver) and record the response latency. Decoding
+	// reuses the scratch message; nothing below retains it.
+	if err := dnswire.UnpackInto(&p.rmsg, dg.Payload); err != nil {
+		return
 	}
+	q, ok := p.rmsg.Question1()
+	if !ok {
+		return
+	}
+	pn, err := dnssrv.ParseProbeName(q.Name, p.cfg.SLD)
+	if err != nil || pn.Cluster != p.cluster || pn.Index < 0 || pn.Index >= len(p.sendAt) {
+		return
+	}
+	if sent := p.sendAt[pn.Index]; sent >= 0 {
+		p.latencies = append(p.latencies, n.Now()-sent)
+		p.sendAt[pn.Index] = -1
+	}
+	p.burn(pn.Index)
 }

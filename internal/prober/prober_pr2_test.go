@@ -1,0 +1,125 @@
+package prober
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openresolver/internal/capture"
+	"openresolver/internal/ipv4"
+)
+
+// TestSendOnePackFailureRestoresSubdomain is the regression test for the
+// subdomain-index leak: when the probe name cannot be encoded (here an SLD
+// whose label exceeds 63 octets), the reserved index must return to the
+// pool. The leak used to shrink every cluster by one subdomain per failed
+// attempt, silently forcing extra cluster rotations.
+func TestSendOnePackFailureRestoresSubdomain(t *testing.T) {
+	w := newWorld(t, 24, 8) // 256 candidates
+	badSLD := strings.Repeat("a", 64) + ".net"
+	log := capture.NewProbeLog()
+	p := startProber(t, w, Config{
+		SLD: badSLD, ClusterSize: 8, Timeout: time.Second, Log: log,
+	})
+	if err := w.sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Fatal("campaign did not complete")
+	}
+	// Every encode failed before the wire: nothing sent, nothing pending,
+	// and — the regression — the full pool is back in avail.
+	if p.Sent() != 0 {
+		t.Errorf("Sent = %d, want 0", p.Sent())
+	}
+	if got := log.Counters().Q1; got != 0 {
+		t.Errorf("Q1 = %d, want 0", got)
+	}
+	if len(p.pending) != 0 {
+		t.Errorf("pending = %d names, want 0", len(p.pending))
+	}
+	if len(p.avail) != 8 {
+		t.Errorf("avail = %d subdomains, want 8 (index leaked on Pack failure)", len(p.avail))
+	}
+	if p.ClustersUsed() != 1 {
+		t.Errorf("ClustersUsed = %d, want 1", p.ClustersUsed())
+	}
+	if p.Reused() != 0 {
+		t.Errorf("Reused = %d, want 0", p.Reused())
+	}
+}
+
+// TestLatencyPercentilesEdgeCases pins the nearest-rank semantics at the
+// boundaries: no samples, a single sample, the 0th/100th percentiles, and
+// cache refresh when new samples arrive between calls.
+func TestLatencyPercentilesEdgeCases(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	p := &Prober{}
+	if got := p.LatencyPercentiles(50); got != nil {
+		t.Errorf("no samples: got %v, want nil", got)
+	}
+
+	p.latencies = []time.Duration{ms(7)}
+	for _, pct := range []float64{0, 50, 100} {
+		if got := p.LatencyPercentiles(pct)[0]; got != ms(7) {
+			t.Errorf("p%g of single sample = %v, want %v", pct, got, ms(7))
+		}
+	}
+
+	p.latencies = []time.Duration{ms(40), ms(10), ms(30), ms(20)} // unsorted on purpose
+	pcts := []float64{0, 1, 25, 50, 75, 99, 100}
+	want := []time.Duration{ms(10), ms(10), ms(10), ms(20), ms(30), ms(40), ms(40)}
+	got := p.LatencyPercentiles(pcts...)
+	for i := range pcts {
+		if got[i] != want[i] {
+			t.Errorf("p%g = %v, want %v", pcts[i], got[i], want[i])
+		}
+	}
+
+	// A new sample invalidates the cached sort (length changed).
+	p.latencies = append(p.latencies, ms(5))
+	if got := p.LatencyPercentiles(0)[0]; got != ms(5) {
+		t.Errorf("p0 after new sample = %v, want %v (stale cache?)", got, ms(5))
+	}
+}
+
+// TestSendOneAllocBudget drives the prober's steady-state send loop —
+// sweep, sendOne, and the delivery step for each probe — and requires it
+// to be allocation-free. Targets are unrouted (every probe dead-letters),
+// which exercises the pooled-payload recycling that keeps sendOne at zero.
+func TestSendOneAllocBudget(t *testing.T) {
+	w := newWorld(t, 16, 1024) // 65536 candidates
+	infra := map[ipv4.Addr]bool{proberAddr: true, rootAddr: true, tldAddr: true, authAddr: true}
+	p := &Prober{
+		cfg: Config{
+			Addr: proberAddr, Universe: w.u, SLD: sld, ClusterSize: 1024,
+			PacketsPerSec: 10000, Timeout: time.Millisecond,
+			Log:  capture.NewProbeLog(),
+			Skip: func(a ipv4.Addr) bool { return infra[a] },
+		},
+		it: w.u.Iterate(), srcPort: 40000, nextID: 1,
+	}
+	p.tickFn = p.tick
+	p.node = w.sim.Register(proberAddr, p)
+	p.refillCluster(0)
+
+	iter := func() {
+		now := p.node.Now()
+		p.sweep(now)
+		if !p.sendOne(now) {
+			t.Fatal("send loop stalled")
+		}
+		if _, err := w.sim.Step(); err != nil { // delivery: NoRoute, payload recycled
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ { // warm nameBuf, payload pool, pending backing array
+		iter()
+	}
+	if avg := testing.AllocsPerRun(300, iter); avg != 0 {
+		t.Errorf("sweep+sendOne+Step allocates %v/op, want 0", avg)
+	}
+	if p.sent < 600 {
+		t.Fatalf("sent %d probes, expected the loop to actually transmit", p.sent)
+	}
+}

@@ -285,9 +285,11 @@ func TestLatencyMeasurement(t *testing.T) {
 	if len(pct) != 2 || pct[0] != 80*time.Millisecond || pct[1] != 80*time.Millisecond {
 		t.Errorf("percentiles = %v", pct)
 	}
-	// The pending map must not leak timed-out entries.
-	if len(p.sendTimes) != 0 {
-		t.Errorf("sendTimes leaked %d entries", len(p.sendTimes))
+	// The in-flight table must not leak timed-out entries.
+	for idx, at := range p.sendAt {
+		if at >= 0 {
+			t.Errorf("sendAt leaked entry for subdomain %d (sent at %v)", idx, at)
+		}
 	}
 	if p.LatencyPercentiles() != nil && len(p.LatencyPercentiles()) != 0 {
 		t.Error("no-arg percentiles should be empty")
