@@ -1,7 +1,9 @@
 # Standard entry points for building and validating the reproduction.
 #
 #   make build      compile every package and command
-#   make test       full test suite (tier-1 gate)
+#   make test       full test suite (tier-1 gate), includes the chaos matrix
+#   make chaos      fault-injection matrix: every impairment class and the
+#                   stacked combo, plus the loss-recovery acceptance bar
 #   make race       race-detector pass over the concurrent pipeline
 #   make vet        static checks
 #   make bench      campaign benchmarks, recorded as BENCH_PR1.json
@@ -12,24 +14,35 @@ GO ?= go
 BENCH_OUT ?= BENCH_PR1.json
 PROFILE_DIR ?= profiles
 
-.PHONY: all build test race vet bench bench-sim profile
+.PHONY: all build test chaos race vet bench bench-sim profile
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# `go test ./...` already runs the chaos matrix (it lives in internal/core's
+# test suite), so the tier-1 gate covers adverse networks by default; the
+# chaos target exists to iterate on just that suite.
 test:
 	$(GO) test ./...
 
+# Fault-injection gate on its own: the impairment matrix (determinism,
+# accounting invariants, bounded event queue per scenario), the 30%-burst-
+# loss recovery acceptance test, and the pinned adverse-network golden.
+chaos:
+	$(GO) test -count=1 -run 'TestChaos|TestFaultGolden' ./internal/core/ \
+		-v -timeout 10m
+
 # The parallel synthesis engine and the accumulator merge are the only
 # concurrent paths; -race over their packages keeps the gate fast while
-# covering every goroutine the repo spawns. The event core and prober are
-# single-threaded by design — -race over them guards against a future
-# change accidentally introducing shared state.
+# covering every goroutine the repo spawns. The event core, prober and DNS
+# engines are single-threaded by design — -race over them guards against a
+# future change accidentally introducing shared state (the retransmission
+# timers and fault pipeline all run on the simulator's virtual clock).
 race:
 	$(GO) test -race ./internal/core/... ./internal/analysis/... \
-		./internal/netsim/... ./internal/prober/...
+		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/...
 
 vet:
 	$(GO) vet ./...

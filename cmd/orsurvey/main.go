@@ -6,12 +6,15 @@
 //
 //	orsurvey [-year 2018] [-mode synth|sim] [-shift N] [-seed N]
 //	         [-pps N] [-workers N] [-capture file]
+//	         [-loss-model spec] [-retries N] [-adaptive-timeout] [-upstream-backoff]
 //
 // Examples:
 //
 //	orsurvey -year 2018                    # full-scale synthetic campaign
 //	orsurvey -year 2013 -mode sim -shift 12  # end-to-end simulation, 1/4096 sample
 //	orsurvey -mode sim -shift 12 -capture r2.orlog  # persist the R2 capture
+//	orsurvey -mode sim -shift 12 -loss-model "ge:0.05,0.2,0.125,1" -retries 5
+//	    # campaign under 30% Gilbert–Elliott burst loss with retransmission
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"openresolver/internal/analysis"
 	"openresolver/internal/capture"
 	"openresolver/internal/core"
+	"openresolver/internal/netsim"
 	"openresolver/internal/paperdata"
 )
 
@@ -45,6 +49,10 @@ func run(args []string, stderr io.Writer) error {
 	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
 	workers := fs.Int("workers", 0, "synthetic-mode worker goroutines (0 = all cores, 1 = serial)")
 	capturePath := fs.String("capture", "", "write the R2 capture log to this file (sim mode)")
+	lossModel := fs.String("loss-model", "", `network impairment spec (sim mode), e.g. "ge:0.05,0.2,0.125,1;dup:0.1;reorder:0.2,40ms"`)
+	retries := fs.Int("retries", 0, "per-probe retransmission budget (sim mode; 0 = the paper's single-shot prober)")
+	adaptive := fs.Bool("adaptive-timeout", false, "replace the fixed 2s probe timeout with a Jacobson/Karn RTO estimator (sim mode)")
+	backoff := fs.Bool("upstream-backoff", false, "resolvers retry upstream queries with exponential backoff and jitter (sim mode)")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
 	csvDir := fs.String("csvdir", "", "write every table as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +62,13 @@ func run(args []string, stderr io.Writer) error {
 		return err
 	}
 
+	var imps []netsim.Impairment
+	if *lossModel != "" {
+		var err error
+		if imps, err = netsim.ParseImpairments(*lossModel); err != nil {
+			return err
+		}
+	}
 	cfg := core.Config{
 		Year:          paperdata.Year(*year),
 		SampleShift:   uint8(*shift),
@@ -61,6 +76,12 @@ func run(args []string, stderr io.Writer) error {
 		PacketsPerSec: *pps,
 		Workers:       *workers,
 		KeepPackets:   *capturePath != "",
+		Faults: core.FaultPlan{
+			Impairments:     imps,
+			Retries:         *retries,
+			AdaptiveTimeout: *adaptive,
+			UpstreamBackoff: *backoff,
+		},
 	}
 
 	var (
@@ -96,6 +117,14 @@ func run(args []string, stderr io.Writer) error {
 		st := ds.NetStats
 		fmt.Printf("Network: sent %d, delivered %d, lost %d, unrouted %d\n",
 			st.Sent, st.Delivered, st.Lost, st.NoRoute)
+		ps := ds.ProbeStats
+		fmt.Printf("Prober: answered %d, retransmits %d, late %d, duplicate %d, gave up %d\n",
+			ps.Answered, ps.Retransmits, ps.Late, ps.DupResponses, ps.GaveUp)
+		if fst := ds.FaultStats; fst != (netsim.FaultStats{}) {
+			fmt.Printf("Faults: dropped %d (loss %d, burst %d, blackhole %d, brownout %d), duplicated %d, corrupted %d, reordered %d\n",
+				fst.Dropped, fst.LossDrops, fst.BurstDrops, fst.Blackholed, fst.BrownedOut,
+				fst.Duplicated, fst.Corrupted, fst.Reordered)
+		}
 		if ds.Roles != nil {
 			fmt.Println()
 			fmt.Print(ds.Roles.Render())

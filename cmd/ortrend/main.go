@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	ortrend [-epochs 6] [-shift 10] [-seed 1] [-workers N]
+//	ortrend [-epochs 6] [-shift 10] [-seed 1] [-workers N] [-mode synth|sim]
+//	        [-loss-model spec] [-retries N] [-adaptive-timeout] [-upstream-backoff]
+//
+// With -mode sim each epoch runs on the discrete-event network, where the
+// fault-injection flags apply — e.g. monitoring drift under persistent 30%
+// burst loss:
+//
+//	ortrend -mode sim -shift 12 -loss-model "ge:0.05,0.2,0.125,1" -retries 5
 package main
 
 import (
@@ -15,7 +22,9 @@ import (
 	"io"
 	"os"
 
+	"openresolver/internal/core"
 	"openresolver/internal/drift"
+	"openresolver/internal/netsim"
 )
 
 func main() {
@@ -32,17 +41,36 @@ func run(args []string, stderr io.Writer) error {
 	shift := fs.Uint("shift", 10, "sample shift: scale each campaign to 1/2^shift")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	workers := fs.Int("workers", 0, "worker goroutines per campaign (0 = all cores, 1 = serial)")
+	mode := fs.String("mode", "synth", "campaign engine per epoch: synth or sim")
+	lossModel := fs.String("loss-model", "", `network impairment spec (sim mode), e.g. "ge:0.05,0.2,0.125,1;dup:0.1"`)
+	retries := fs.Int("retries", 0, "per-probe retransmission budget (sim mode; 0 = single-shot)")
+	adaptive := fs.Bool("adaptive-timeout", false, "adaptive Jacobson/Karn probe timeout (sim mode)")
+	backoff := fs.Bool("upstream-backoff", false, "resolver upstream retries back off with jitter (sim mode)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	var imps []netsim.Impairment
+	if *lossModel != "" {
+		var err error
+		if imps, err = netsim.ParseImpairments(*lossModel); err != nil {
+			return err
+		}
+	}
 	points, err := drift.Trend(drift.Config{
 		Epochs:      *epochs,
 		SampleShift: uint8(*shift),
 		Seed:        *seed,
 		Workers:     *workers,
+		Mode:        *mode,
+		Faults: core.FaultPlan{
+			Impairments:     imps,
+			Retries:         *retries,
+			AdaptiveTimeout: *adaptive,
+			UpstreamBackoff: *backoff,
+		},
 	})
 	if err != nil {
 		return err

@@ -143,11 +143,23 @@ const maxForwardPending = 64
 // NewResolver registers a resolver with profile at addr. rootAddr points the
 // recursion engine at the hierarchy (only used when profile.Upstream > 0).
 func NewResolver(sim *netsim.Sim, addr ipv4.Addr, rootAddr ipv4.Addr, profile Profile) *Resolver {
+	return NewResolverTuned(sim, addr, rootAddr, profile, nil)
+}
+
+// NewResolverTuned is NewResolver with a hook to adjust the recursion
+// engine's knobs (retry backoff, jitter, timeouts) before the resolver goes
+// live — how a fault-injected campaign hardens its whole population. tune
+// is only called for profiles that actually embed an engine; nil leaves
+// the defaults.
+func NewResolverTuned(sim *netsim.Sim, addr ipv4.Addr, rootAddr ipv4.Addr, profile Profile, tune func(*dnssrv.Recursive)) *Resolver {
 	r := &Resolver{profile: profile, rootAddr: rootAddr}
 	node := sim.Register(addr, r)
 	if profile.Upstream > 0 {
 		r.rec = dnssrv.NewRecursive(node, rootAddr)
 		r.rec.DupQueries = profile.Upstream
+		if tune != nil {
+			tune(r.rec)
+		}
 	}
 	return r
 }

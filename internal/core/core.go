@@ -75,6 +75,38 @@ type Config struct {
 	// the probes the serial loop would (see DESIGN.md §2). Simulation mode
 	// ignores Workers: the discrete-event network is inherently sequential.
 	Workers int
+	// Faults configures adverse-network fault injection and the adaptive
+	// retransmission machinery (simulation mode only; the zero value is a
+	// pristine network with the paper's single-shot prober).
+	Faults FaultPlan
+}
+
+// FaultPlan wires the fault-injection layer and the retransmission engines
+// through a simulated campaign (DESIGN.md §8).
+type FaultPlan struct {
+	// Impairments degrade the network (netsim's composable fault pipeline:
+	// burst loss, duplication, reordering, corruption, blackholes,
+	// brownouts — see netsim.ParseImpairments for the CLI spec grammar).
+	Impairments []netsim.Impairment
+	// Retries is the prober's per-probe retransmission budget.
+	Retries int
+	// AdaptiveTimeout replaces the prober's fixed 2s timeout with the
+	// Jacobson/Karn RTO estimator.
+	AdaptiveTimeout bool
+	// UpstreamBackoff hardens every resolver's recursion engine: upstream
+	// retries back off exponentially with jitter instead of re-firing on a
+	// fixed interval.
+	UpstreamBackoff bool
+	// MaxQueuedEvents bounds the simulator's event queue — the safety
+	// valve the chaos tests use to prove impairments cannot feed back into
+	// queue blowup. 0 means unbounded.
+	MaxQueuedEvents int
+}
+
+// pristine reports whether the plan changes anything at all.
+func (f FaultPlan) pristine() bool {
+	return len(f.Impairments) == 0 && f.Retries == 0 && !f.AdaptiveTimeout &&
+		!f.UpstreamBackoff && f.MaxQueuedEvents == 0
 }
 
 func (c Config) workers() int {
@@ -123,6 +155,13 @@ type Dataset struct {
 	SubdomainsReused uint64
 	// NetStats are the simulator's packet counters (simulation mode).
 	NetStats netsim.Stats
+	// FaultStats count the impairment pipeline's interventions (simulation
+	// mode; all zero on a pristine network).
+	FaultStats netsim.FaultStats
+	// ProbeStats is the prober's counter snapshot, including the
+	// retransmission engine's retransmit/late/duplicate/gave-up counters
+	// (simulation mode).
+	ProbeStats prober.Stats
 	// R2Packets are the raw captured responses (KeepPackets only).
 	R2Packets []capture.Packet
 	// Roles classifies every responder by correlating the prober and
@@ -163,6 +202,9 @@ func RunSynthetic(cfg Config) (*Dataset, error) {
 // population answers with (for mixed populations, merge the years' feeds).
 // It is the engine behind RunSynthetic and the drift-monitoring extension.
 func SynthesizePopulation(cfg Config, pop *population.Population, threat *threatintel.DB) (*Dataset, error) {
+	if !cfg.Faults.pristine() {
+		return nil, fmt.Errorf("core: fault injection requires simulation mode (the synthetic engine has no network to impair)")
+	}
 	reg := geo.DefaultRegistry()
 	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
 	if err != nil {
@@ -420,10 +462,25 @@ func syntheticCampaignCounts(cfg Config, pop *population.Population, clusterSize
 
 // RunSimulation executes the campaign on the discrete-event network.
 func RunSimulation(cfg Config) (*Dataset, error) {
+	pop, feed, _, _, err := buildDeps(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return SimulatePopulation(cfg, pop, feed.DB)
+}
+
+// SimulatePopulation executes an arbitrary compiled population on the
+// discrete-event network — the simulation-mode mirror of
+// SynthesizePopulation, and like it usable with mixed populations and
+// merged threat feeds (drift monitoring). cfg.Faults applies here: the
+// network is built with the plan's impairments and the prober and resolver
+// population get its retransmission knobs.
+func SimulatePopulation(cfg Config, pop *population.Population, threat *threatintel.DB) (*Dataset, error) {
 	if cfg.SampleShift < 6 {
 		return nil, fmt.Errorf("core: simulation mode needs SampleShift ≥ 6 (got %d); use RunSynthetic for full scale", cfg.SampleShift)
 	}
-	pop, feed, reg, u, err := buildDeps(cfg)
+	reg := geo.DefaultRegistry()
+	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
 	if err != nil {
 		return nil, err
 	}
@@ -433,8 +490,10 @@ func RunSimulation(cfg Config) (*Dataset, error) {
 	}
 
 	sim := netsim.New(netsim.Config{
-		Seed:    cfg.Seed,
-		Latency: netsim.UniformLatency(10*time.Millisecond, 80*time.Millisecond),
+		Seed:            cfg.Seed,
+		Latency:         netsim.UniformLatency(10*time.Millisecond, 80*time.Millisecond),
+		Impairments:     cfg.Faults.Impairments,
+		MaxQueuedEvents: cfg.Faults.MaxQueuedEvents,
 	})
 
 	// The DNS hierarchy of Fig. 1 with the tcpdump tap of Fig. 2.
@@ -471,33 +530,39 @@ func RunSimulation(cfg Config) (*Dataset, error) {
 			cohortOf[src] = int32(ci)
 		}
 	}
+	var tune func(*dnssrv.Recursive)
+	if cfg.Faults.UpstreamBackoff {
+		tune = func(rec *dnssrv.Recursive) { rec.Backoff, rec.Jitter = true, true }
+	}
 	sim.SetSpawner(func(addr ipv4.Addr) bool {
 		ci, ok := cohortOf[addr]
 		if !ok {
 			return false
 		}
-		behavior.NewResolver(sim, addr, RootAddr, pop.Cohorts[ci].Profile)
+		behavior.NewResolverTuned(sim, addr, RootAddr, pop.Cohorts[ci].Profile, tune)
 		return true
 	})
 
 	// The analysis pipeline, fed live from the prober's capture log.
-	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: feed.DB, Geo: reg})
+	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg})
 	probeLog := capture.NewProbeLog()
 	probeLog.Keep = cfg.KeepPackets
 	probeLog.Sink = func(p capture.Packet) { acc.AddR2(p.Src, p.Payload) }
 
 	infra := map[ipv4.Addr]bool{ProberAddr: true, RootAddr: true, TLDAddr: true, AuthAddr: true}
 	pr, err := prober.Start(sim, prober.Config{
-		Addr:          ProberAddr,
-		Universe:      u,
-		SLD:           paperdata.SLD,
-		ClusterSize:   cfg.scaledClusterSize(),
-		PacketsPerSec: cfg.pps(),
-		Timeout:       2 * time.Second,
-		SendSkip:      cfg.sendSkip(),
-		Auth:          auth,
-		Log:           probeLog,
-		Skip:          func(a ipv4.Addr) bool { return infra[a] },
+		Addr:            ProberAddr,
+		Universe:        u,
+		SLD:             paperdata.SLD,
+		ClusterSize:     cfg.scaledClusterSize(),
+		PacketsPerSec:   cfg.pps(),
+		Timeout:         2 * time.Second,
+		Retries:         cfg.Faults.Retries,
+		AdaptiveTimeout: cfg.Faults.AdaptiveTimeout,
+		SendSkip:        cfg.sendSkip(),
+		Auth:            auth,
+		Log:             probeLog,
+		Skip:            func(a ipv4.Addr) bool { return infra[a] },
 	})
 	if err != nil {
 		return nil, err
@@ -524,6 +589,8 @@ func RunSimulation(cfg Config) (*Dataset, error) {
 		ClustersUsed:     pr.ClustersUsed(),
 		SubdomainsReused: pr.Reused(),
 		NetStats:         sim.Stats(),
+		FaultStats:       sim.FaultStats(),
+		ProbeStats:       pr.Stats(),
 		R2Packets:        probeLog.R2(),
 	}
 	if cfg.KeepPackets {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"testing"
 
+	"openresolver/internal/netsim"
 	"openresolver/internal/paperdata"
 )
 
@@ -56,6 +57,50 @@ func simulationDigest(ds *Dataset) string {
 		h.Write(p.Payload)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// faultGolden pins one adverse-network campaign bit-for-bit: Gilbert–
+// Elliott burst loss stacked with duplication, reordering and corruption,
+// answered by the full retransmission machinery (prober retries, adaptive
+// RTO, upstream backoff). Everything simulationDigest covers must stay
+// stable, and so must the fault pipeline's intervention counters and the
+// prober's retransmission counters — the digest extends over both. Re-derive
+// with GOLDEN_PRINT=1 (see above) if a change legitimately alters it.
+const faultGolden = "14ed63b6c82d0436126bdc5ae3b549917ab5d9eb794bd455ac21ff311b510553"
+
+func faultDigest(ds *Dataset) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "base=%s faults=%+v probe=%+v\n",
+		simulationDigest(ds), ds.FaultStats, ds.ProbeStats)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestFaultGolden(t *testing.T) {
+	imps, err := netsim.ParseImpairments("ge:0.02,0.3,0.05,0.9;dup:0.05;reorder:0.1,30ms;corrupt:0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := RunSimulation(Config{
+		Year: paperdata.Y2018, SampleShift: 14, Seed: 1, KeepPackets: true,
+		Faults: FaultPlan{
+			Impairments:     imps,
+			Retries:         2,
+			AdaptiveTimeout: true,
+			UpstreamBackoff: true,
+			MaxQueuedEvents: 1 << 21,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := faultDigest(ds)
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		t.Logf("fault golden: %s", got)
+		return
+	}
+	if got != faultGolden {
+		t.Errorf("fault-injection campaign diverged\n got %s\nwant %s", got, faultGolden)
+	}
 }
 
 func TestSimulationGolden(t *testing.T) {

@@ -28,6 +28,20 @@ type Recursive struct {
 	// Timeout and Retries govern each upstream leg.
 	Timeout time.Duration
 	Retries int
+	// Backoff doubles the retry timeout on every attempt (capped at
+	// MaxTimeout) instead of retrying on a fixed interval — the adverse-
+	// network discipline: a loss burst is outwaited, not hammered.
+	Backoff bool
+	// Jitter adds a ±12.5% deterministic perturbation (drawn from the
+	// node's rng) to each retry timeout, decorrelating retry storms across
+	// a population of resolvers hit by the same outage.
+	Jitter bool
+	// MaxTimeout caps the backed-off retry timeout; 0 means 8×Timeout.
+	MaxTimeout time.Duration
+	// MaxTCPRetries bounds how often a leg truncated *over TCP* is
+	// re-dialed before the engine gives up with ServFail. A server that
+	// sets TC=1 on every TCP answer must not loop fallbacks forever.
+	MaxTCPRetries int
 	// DupQueries duplicates the authoritative leg (retransmission
 	// behaviour observed in the wild; the Q2 ≈ 2×R2 ratio of Table II is
 	// calibrated with it). 1 means a single query.
@@ -62,6 +76,8 @@ type Recursive struct {
 	CacheHits       uint64 // Resolve calls served from the answer cache
 	Failures        uint64
 	TCPFallbacks    uint64 // truncated UDP responses retried over TCP
+	Retransmits     uint64 // UDP legs re-sent after a timeout
+	TCPTruncated    uint64 // TCP answers still carrying TC=1
 }
 
 type cacheEntry struct {
@@ -80,13 +96,14 @@ type negativeEntry struct {
 }
 
 type inflight struct {
-	qname    string
-	server   ipv4.Addr
-	attempts int
-	timer    netsim.Timer
-	done     func(Result)
-	depth    int
-	finished bool
+	qname       string
+	server      ipv4.Addr
+	attempts    int
+	tcpAttempts int
+	timer       netsim.Timer
+	done        func(Result)
+	depth       int
+	finished    bool
 }
 
 // finish delivers the result exactly once.
@@ -102,17 +119,18 @@ func (r *Recursive) finish(fl *inflight, res Result) {
 // rootAddr.
 func NewRecursive(node *netsim.Node, rootAddr ipv4.Addr) *Recursive {
 	return &Recursive{
-		node:        node,
-		rootAddr:    rootAddr,
-		Timeout:     2 * time.Second,
-		Retries:     2,
-		DupQueries:  1,
-		referrals:   make(map[string]cacheEntry),
-		answers:     make(map[string]answerEntry),
-		negative:    make(map[string]negativeEntry),
-		NegativeTTL: 15 * time.Minute,
-		pending:     make(map[uint16]*inflight),
-		nextID:      1,
+		node:          node,
+		rootAddr:      rootAddr,
+		Timeout:       2 * time.Second,
+		Retries:       2,
+		MaxTCPRetries: 2,
+		DupQueries:    1,
+		referrals:     make(map[string]cacheEntry),
+		answers:       make(map[string]answerEntry),
+		negative:      make(map[string]negativeEntry),
+		NegativeTTL:   15 * time.Minute,
+		pending:       make(map[uint16]*inflight),
+		nextID:        1,
 	}
 }
 
@@ -215,8 +233,36 @@ func (r *Recursive) onTimeout(id uint16) {
 		r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
 		return
 	}
+	r.Retransmits++
 	r.sendQuery(id, fl.qname, fl.server)
-	fl.timer = r.node.After(r.Timeout, func() { r.onTimeout(id) })
+	fl.timer = r.node.After(r.retryTimeout(fl.attempts), func() { r.onTimeout(id) })
+}
+
+// retryTimeout is the wait before declaring the attempts-th retry lost:
+// the fixed Timeout, doubled per attempt under Backoff (capped), with
+// optional jitter. With both flags clear it is exactly r.Timeout, keeping
+// the default engine bit-identical to the pre-fault-model behaviour.
+func (r *Recursive) retryTimeout(attempts int) time.Duration {
+	d := r.Timeout
+	if r.Backoff {
+		max := r.MaxTimeout
+		if max <= 0 {
+			max = 8 * r.Timeout
+		}
+		for i := 0; i < attempts; i++ {
+			d *= 2
+			if d >= max {
+				d = max
+				break
+			}
+		}
+	}
+	if r.Jitter {
+		if j := d / 8; j > 0 {
+			d += time.Duration(r.node.Rand().Int63n(int64(2*j+1))) - j
+		}
+	}
+	return d
 }
 
 // HandleResponse feeds an upstream response into the engine. It returns
@@ -342,6 +388,20 @@ func (r *Recursive) retryTCP(fl *inflight, id uint16) {
 				}
 				deadline.Stop()
 				c.Close()
+				if m.Header.TC {
+					// Truncated even over TCP — a protocol violation some
+					// broken servers commit on every answer. Retry a bounded
+					// number of times, then fail instead of looping forever.
+					r.TCPTruncated++
+					if fl.tcpAttempts < r.MaxTCPRetries {
+						fl.tcpAttempts++
+						r.retryTCP(fl, id)
+						return
+					}
+					r.Failures++
+					r.finish(fl, Result{Rcode: dnswire.RcodeServFail})
+					return
+				}
 				r.process(fl, m)
 				return
 			}

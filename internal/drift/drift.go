@@ -40,6 +40,13 @@ type Config struct {
 	// yet keeping them ordered makes progress output and memory use
 	// predictable while the inner pipeline saturates the cores.
 	Workers int
+	// Mode selects the campaign engine per epoch: "synth" (default, the
+	// full-scale synthetic stream) or "sim" (the discrete-event network,
+	// which honors Faults and needs SampleShift ≥ 6).
+	Mode string
+	// Faults injects network impairments and enables the retransmission
+	// machinery in every epoch (sim mode only).
+	Faults core.FaultPlan
 }
 
 // Point is one monitoring epoch's summary.
@@ -56,6 +63,11 @@ type Point struct {
 func Trend(cfg Config) ([]Point, error) {
 	if cfg.Epochs < 2 {
 		return nil, fmt.Errorf("drift: need at least 2 epochs")
+	}
+	switch cfg.Mode {
+	case "", "synth", "sim":
+	default:
+		return nil, fmt.Errorf("drift: unknown mode %q (want synth or sim)", cfg.Mode)
 	}
 	feed13 := threatintel.NewFeed(paperdata.Y2013, cfg.Seed)
 	feed18 := threatintel.NewFeed(paperdata.Y2018, cfg.Seed)
@@ -87,10 +99,16 @@ func Trend(cfg Config) ([]Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds, err := core.SynthesizePopulation(core.Config{
+		ccfg := core.Config{
 			Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed + int64(i),
-			Workers: cfg.Workers,
-		}, mixed, merged)
+			Workers: cfg.Workers, Faults: cfg.Faults,
+		}
+		var ds *core.Dataset
+		if cfg.Mode == "sim" {
+			ds, err = core.SimulatePopulation(ccfg, mixed, merged)
+		} else {
+			ds, err = core.SynthesizePopulation(ccfg, mixed, merged)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("epoch %d: %w", i, err)
 		}

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"openresolver/internal/core"
+	"openresolver/internal/netsim"
 	"openresolver/internal/paperdata"
 )
 
@@ -71,5 +73,43 @@ func TestTrendLabels(t *testing.T) {
 func TestTrendValidation(t *testing.T) {
 	if _, err := Trend(Config{Epochs: 1}); err == nil {
 		t.Error("single epoch accepted")
+	}
+	if _, err := Trend(Config{Epochs: 2, Mode: "quantum"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	// Fault plans need a network to impair: synth-mode epochs must refuse.
+	if _, err := Trend(Config{Epochs: 2, SampleShift: 9, Faults: core.FaultPlan{Retries: 3}}); err == nil {
+		t.Error("fault plan accepted in synth mode")
+	}
+}
+
+// TestTrendSimModeWithFaults runs a two-epoch simulated trend under burst
+// loss with retransmission: each epoch must report the fault and
+// retransmission activity while keeping the trend machinery intact.
+func TestTrendSimModeWithFaults(t *testing.T) {
+	imps, err := netsim.ParseImpairments("ge:0.05,0.2,0.125,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Trend(Config{
+		Epochs: 2, SampleShift: 16, Seed: 1, Mode: "sim",
+		Faults: core.FaultPlan{
+			Impairments:     imps,
+			Retries:         3,
+			AdaptiveTimeout: true,
+			UpstreamBackoff: true,
+			MaxQueuedEvents: 1 << 21,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.Report.Correctness.R2 == 0 {
+			t.Errorf("epoch %d collected no responses under retransmission", i)
+		}
 	}
 }

@@ -76,6 +76,10 @@ type Config struct {
 	// Loss is the probability in [0,1) that any datagram is dropped in
 	// flight. The 2013 campaign's send shortfall is modeled with this.
 	Loss float64
+	// Impairments is the adverse-network fault pipeline (see impair.go),
+	// applied in order to every datagram after the Loss check. nil keeps
+	// the pristine fast path.
+	Impairments []Impairment
 	// MaxQueuedEvents bounds the event queue as a safety net against
 	// runaway feedback loops; 0 means no bound.
 	MaxQueuedEvents int
@@ -129,6 +133,12 @@ type Sim struct {
 	listeners map[listenerKey]StreamAccept
 	payloads  [][]byte // recycled datagram payload buffers
 	stats     Stats
+	faults    FaultStats
+
+	// Scratch cells for sendImpaired: Apply takes pointers through an
+	// interface, which would otherwise force a heap escape per packet.
+	fate  Fate
+	impDg Datagram
 }
 
 // ErrEventQueueFull is returned by Run when MaxQueuedEvents is exceeded.
@@ -150,6 +160,9 @@ func (s *Sim) Now() time.Duration { return s.now }
 
 // Stats returns a snapshot of the run counters.
 func (s *Sim) Stats() Stats { return s.stats }
+
+// FaultStats returns a snapshot of the impairment pipeline's counters.
+func (s *Sim) FaultStats() FaultStats { return s.faults }
 
 // Rand returns the simulation's deterministic random source. It must only
 // be used from within event handlers (the simulator is single-threaded).
@@ -329,7 +342,65 @@ func (s *Sim) send(dg Datagram, pooled bool) {
 		}
 		return
 	}
+	if len(s.cfg.Impairments) > 0 {
+		s.sendImpaired(dg, pooled)
+		return
+	}
 	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng)
+	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg, pooled: pooled})
+}
+
+// sendImpaired runs dg through the fault pipeline and executes the combined
+// verdict. Duplicate copies are cloned from the original payload before the
+// primary is corrupted, so a flipped bit never propagates into a twin; each
+// copy draws its own latency, arriving shuffled relative to the primary.
+func (s *Sim) sendImpaired(dg Datagram, pooled bool) {
+	s.impDg = dg
+	s.fate = Fate{CorruptBit: -1}
+	for _, imp := range s.cfg.Impairments {
+		imp.Apply(&s.impDg, s.now, s.rng, &s.fate)
+	}
+	dg, f := s.impDg, s.fate
+	s.impDg.Payload = nil // no stale reference into the payload pool
+	if f.Drop {
+		s.stats.Lost++
+		s.faults.Dropped++
+		switch f.Cause {
+		case CauseLoss:
+			s.faults.LossDrops++
+		case CauseBurst:
+			s.faults.BurstDrops++
+		case CauseBlackhole:
+			s.faults.Blackholed++
+		case CauseBrownout:
+			s.faults.BrownedOut++
+		}
+		if pooled {
+			s.putPayload(dg.Payload)
+		}
+		return
+	}
+	for i := 0; i < f.Duplicates; i++ {
+		cp := dg
+		cp.Payload = append(s.getPayload(), dg.Payload...)
+		s.faults.Duplicated++
+		delay := s.cfg.Latency(cp.Src, cp.Dst, s.rng)
+		s.schedule(s.now+delay, event{kind: evDeliver, dg: cp, pooled: true})
+	}
+	if f.CorruptBit >= 0 && len(dg.Payload) > 0 {
+		if !pooled {
+			// Never mutate a caller-owned buffer: corrupt a pooled copy.
+			dg.Payload = append(s.getPayload(), dg.Payload...)
+			pooled = true
+		}
+		bit := f.CorruptBit % (len(dg.Payload) * 8)
+		dg.Payload[bit>>3] ^= 1 << (bit & 7)
+		s.faults.Corrupted++
+	}
+	if f.ExtraDelay > 0 {
+		s.faults.Reordered++
+	}
+	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng) + f.ExtraDelay
 	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg, pooled: pooled})
 }
 

@@ -35,6 +35,19 @@ type Config struct {
 	// Timeout is how long a subdomain stays reserved before it is deemed
 	// unanswered and returned to the pool for reuse.
 	Timeout time.Duration
+	// Retries is the per-probe retransmission budget: a probe whose
+	// deadline expires is retransmitted to the same target (same subdomain,
+	// same query ID, exponential backoff with jitter) up to Retries times
+	// before the prober gives up on it. 0 keeps the paper's single-shot
+	// behaviour.
+	Retries int
+	// AdaptiveTimeout replaces the fixed Timeout with a Jacobson/Karn RTO
+	// (SRTT + 4×RTTVAR, clamped to [MinRTO, MaxRTO]) learned from observed
+	// response latencies. Retransmitted probes are never timed (Karn).
+	AdaptiveTimeout bool
+	// MinRTO and MaxRTO clamp the adaptive timeout and cap the exponential
+	// backoff. Zero values default to 100ms and 4×Timeout.
+	MinRTO, MaxRTO time.Duration
 	// SendSkip is the probability a probe is never transmitted (models the
 	// 2013 C-based prober's send shortfall, paperdata discrepancy D2).
 	SendSkip float64
@@ -82,10 +95,16 @@ type Prober struct {
 	tokens float64
 
 	// Counters.
-	sent     uint64
-	skipped  uint64
-	received uint64
-	reused   uint64
+	sent         uint64
+	skipped      uint64
+	received     uint64
+	reused       uint64
+	answered     uint64
+	retransmits  uint64
+	late         uint64
+	dupResponses uint64
+	gaveUp       uint64
+	badPackets   uint64
 
 	// sendAt[idx] is the send instant of the outstanding probe using
 	// subdomain idx of the active cluster, or -1 when idx is not in flight.
@@ -95,6 +114,15 @@ type Prober struct {
 	// sendTimes map. Entries are reset on response or timeout sweep.
 	sendAt    []time.Duration
 	latencies []time.Duration
+	// Retransmission-engine state, parallel to sendAt (see retrans.go):
+	// per-subdomain transmission attempts beyond the first, the probe's
+	// target and query ID (for re-sends), the retry queue, and the RTT
+	// estimator. All idle when Retries == 0 and AdaptiveTimeout == false.
+	attempts []uint8
+	target   []ipv4.Addr
+	qid      []uint16
+	retryq   []retryEntry
+	rtt      rttEstimator
 	// latSorted caches the sorted view of latencies for LatencyPercentiles;
 	// it is valid while its length matches latencies.
 	latSorted []time.Duration
@@ -129,6 +157,15 @@ func Start(sim *netsim.Sim, cfg Config) (*Prober, error) {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Retries < 0 || cfg.Retries > 255 {
+		return nil, fmt.Errorf("prober: retry budget %d outside [0, 255]", cfg.Retries)
+	}
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = 100 * time.Millisecond
+	}
+	if cfg.MaxRTO <= 0 {
+		cfg.MaxRTO = 4 * cfg.Timeout
 	}
 	if cfg.Log == nil {
 		cfg.Log = capture.NewProbeLog()
@@ -170,6 +207,19 @@ func (p *Prober) refillCluster(c int) {
 	}
 	for i := range p.sendAt {
 		p.sendAt[i] = -1
+	}
+	if p.retransmitting() {
+		if cap(p.attempts) < p.cfg.ClusterSize {
+			p.attempts = make([]uint8, p.cfg.ClusterSize)
+			p.target = make([]ipv4.Addr, p.cfg.ClusterSize)
+			p.qid = make([]uint16, p.cfg.ClusterSize)
+		} else {
+			p.attempts = p.attempts[:p.cfg.ClusterSize]
+			clear(p.attempts)
+			p.target = p.target[:p.cfg.ClusterSize]
+			p.qid = p.qid[:p.cfg.ClusterSize]
+		}
+		p.retryq = p.retryq[:0]
 	}
 	if p.cfg.Auth != nil && c > 0 {
 		p.cfg.Auth.SetCluster(c)
@@ -231,7 +281,7 @@ func (p *Prober) tick() {
 	// most of the pool is burned, loading a fresh cluster beats crawling on
 	// the remnant — the discipline that puts the paper's campaign at 4
 	// clusters rather than waiting out every last name.
-	if !p.exhausted && len(p.pending) == 0 && p.burnedCount > p.cfg.ClusterSize*3/4 {
+	if !p.exhausted && len(p.pending) == 0 && len(p.retryq) == 0 && p.burnedCount > p.cfg.ClusterSize*3/4 {
 		p.refillCluster(p.cluster + 1)
 	}
 
@@ -240,15 +290,25 @@ func (p *Prober) tick() {
 		if max := float64(p.cfg.PacketsPerSec); p.tokens > max+1 {
 			p.tokens = max + 1 // cap the burst to one second of budget
 		}
+		// Retries may spend at most half the batch up front; fresh probes
+		// then take what they need, and leftovers flow back to the retry
+		// queue. Under a loss spike the queue sheds itself (serveRetries)
+		// rather than squeezing fresh coverage below half rate.
+		if len(p.retryq) > 0 {
+			p.tokens -= p.serveRetries(now, p.tokens/2)
+		}
 		for p.tokens >= 1 {
 			if !p.sendOne(now) {
 				break
 			}
 			p.tokens--
 		}
+		if len(p.retryq) > 0 && p.tokens >= 1 {
+			p.tokens -= p.serveRetries(now, p.tokens)
+		}
 	}
 
-	if p.exhausted && len(p.pending) == 0 {
+	if p.exhausted && len(p.pending) == 0 && len(p.retryq) == 0 {
 		p.done = true
 		p.finishedAt = p.node.Now()
 		if p.cfg.OnDone != nil {
@@ -260,7 +320,14 @@ func (p *Prober) tick() {
 }
 
 // sweep returns timed-out subdomains to the pool (subdomain reuse, §III-B).
+// With the retransmission engine active, deadlines are no longer monotone
+// (backoff, adaptive RTO) and expired probes may still have retry budget,
+// so sweeping switches to the full-scan variant in retrans.go.
 func (p *Prober) sweep(now time.Duration) {
+	if p.retransmitting() {
+		p.sweepScan(now)
+		return
+	}
 	i := 0
 	for ; i < len(p.pending); i++ {
 		pn := p.pending[i]
@@ -284,7 +351,7 @@ func (p *Prober) sweep(now time.Duration) {
 // stop (universe exhausted or no subdomains available).
 func (p *Prober) sendOne(now time.Duration) bool {
 	if len(p.avail) == 0 {
-		if len(p.pending) > 0 {
+		if len(p.pending) > 0 || len(p.retryq) > 0 {
 			// Pool exhausted but names may return after timeouts: stall.
 			return false
 		}
@@ -329,7 +396,12 @@ func (p *Prober) sendOne(now time.Duration) bool {
 	p.sent++
 	p.cfg.Log.CountQ1(1)
 	p.sendAt[idx] = now
-	p.pending = append(p.pending, pendingName{idx: idx, cluster: p.cluster, deadline: now + p.cfg.Timeout})
+	if p.retransmitting() {
+		p.attempts[idx] = 0
+		p.target[idx] = target
+		p.qid[idx] = id
+	}
+	p.pending = append(p.pending, pendingName{idx: idx, cluster: p.cluster, deadline: now + p.rto()})
 	return true
 }
 
@@ -375,19 +447,41 @@ func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 	// the responding resolver) and record the response latency. Decoding
 	// reuses the scratch message; nothing below retains it.
 	if err := dnswire.UnpackInto(&p.rmsg, dg.Payload); err != nil {
+		p.badPackets++ // e.g. corrupted in flight
 		return
 	}
 	q, ok := p.rmsg.Question1()
 	if !ok {
+		p.badPackets++
 		return
 	}
 	pn, err := dnssrv.ParseProbeName(q.Name, p.cfg.SLD)
-	if err != nil || pn.Cluster != p.cluster || pn.Index < 0 || pn.Index >= len(p.sendAt) {
+	if err != nil {
+		return
+	}
+	if pn.Cluster != p.cluster {
+		// A response for a rotated-away cluster: the answer came back after
+		// its subdomain's whole cluster was retired.
+		p.late++
+		return
+	}
+	if pn.Index < 0 || pn.Index >= len(p.sendAt) {
 		return
 	}
 	if sent := p.sendAt[pn.Index]; sent >= 0 {
-		p.latencies = append(p.latencies, n.Now()-sent)
+		// Karn's rule: only time a probe answered on its first transmission;
+		// a retransmitted probe's response is ambiguous.
+		if !p.retransmitting() || p.attempts[pn.Index] == 0 {
+			lat := n.Now() - sent
+			p.latencies = append(p.latencies, lat)
+			p.rtt.observe(lat)
+		}
 		p.sendAt[pn.Index] = -1
+		p.answered++
+	} else if p.isBurned(pn.Index) {
+		p.dupResponses++ // second answer for an already-burned subdomain
+	} else {
+		p.late++ // answer arrived after the sweep returned the name
 	}
 	p.burn(pn.Index)
 }

@@ -30,7 +30,13 @@ type world struct {
 // newWorld builds a hierarchy plus a tiny universe (2^(32-shift) candidates).
 func newWorld(t *testing.T, shift uint8, clusterSize int) *world {
 	t.Helper()
-	sim := netsim.New(netsim.Config{Seed: 1, Latency: netsim.ConstantLatency(10 * time.Millisecond)})
+	return newImpairedWorld(t, shift, clusterSize, nil)
+}
+
+// newImpairedWorld is newWorld over an adverse network.
+func newImpairedWorld(t *testing.T, shift uint8, clusterSize int, imps []netsim.Impairment) *world {
+	t.Helper()
+	sim := netsim.New(netsim.Config{Seed: 1, Latency: netsim.ConstantLatency(10 * time.Millisecond), Impairments: imps})
 	dnssrv.NewReferralServer(sim, rootAddr, []dnssrv.Referral{
 		{Zone: "net", NSName: "a.gtld-servers.net", Addr: tldAddr},
 	})
