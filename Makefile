@@ -9,12 +9,15 @@
 #   make bench      campaign benchmarks, recorded as BENCH_PR1.json
 #   make bench-sim  simulated-campaign + event-core benchmarks (BENCH_PR2 set)
 #   make profile    bench-sim under -cpuprofile/-memprofile for pprof
+#   make cover      test suite with coverage profile + per-function summary
+#   make doccheck   every package documented (go vet + scripts/doccheck)
 
 GO ?= go
 BENCH_OUT ?= BENCH_PR1.json
 PROFILE_DIR ?= profiles
+COVER_OUT ?= cover.out
 
-.PHONY: all build test chaos race vet bench bench-sim profile
+.PHONY: all build test chaos race vet bench bench-sim profile cover doccheck
 
 all: build vet test
 
@@ -42,10 +45,21 @@ chaos:
 # timers and fault pipeline all run on the simulator's virtual clock).
 race:
 	$(GO) test -race ./internal/core/... ./internal/analysis/... \
-		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/...
+		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/... \
+		./internal/obs/...
 
 vet:
 	$(GO) vet ./...
+
+# Coverage over the whole module; the tail line is the total.
+cover:
+	$(GO) test -short -coverprofile $(COVER_OUT) ./...
+	$(GO) tool cover -func $(COVER_OUT) | tail -n 1
+
+# Documentation gate: go vet plus a parser-level check that every package
+# under internal/ and cmd/ carries a package doc comment.
+doccheck: vet
+	$(GO) run ./scripts/doccheck ./internal ./cmd
 
 bench:
 	$(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count 3 . \

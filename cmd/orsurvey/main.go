@@ -5,8 +5,9 @@
 // Usage:
 //
 //	orsurvey [-year 2018] [-mode synth|sim] [-shift N] [-seed N]
-//	         [-pps N] [-workers N] [-capture file]
+//	         [-pps N] [-workers N] [-capture file] [-json file] [-csvdir dir]
 //	         [-loss-model spec] [-retries N] [-adaptive-timeout] [-upstream-backoff]
+//	         [-metrics-addr host:port] [-progress interval]
 //
 // Examples:
 //
@@ -15,6 +16,8 @@
 //	orsurvey -mode sim -shift 12 -capture r2.orlog  # persist the R2 capture
 //	orsurvey -mode sim -shift 12 -loss-model "ge:0.05,0.2,0.125,1" -retries 5
 //	    # campaign under 30% Gilbert–Elliott burst loss with retransmission
+//	orsurvey -mode sim -shift 10 -metrics-addr 127.0.0.1:8080 -progress 2s
+//	    # watch the campaign live: expvar/pprof/JSON snapshot + stderr ticker
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"openresolver/internal/capture"
 	"openresolver/internal/core"
 	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
 	"openresolver/internal/paperdata"
 )
 
@@ -38,6 +42,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// metricsUp is called with the bound metrics address after the campaign's
+// output is complete but before the server shuts down. Tests hook it to
+// scrape the endpoints with the full run's data in place.
+var metricsUp = func(addr string) {}
 
 func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orsurvey", flag.ContinueOnError)
@@ -55,11 +64,33 @@ func run(args []string, stderr io.Writer) error {
 	backoff := fs.Bool("upstream-backoff", false, "resolvers retry upstream queries with exponential backoff and jitter (sim mode)")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
 	csvDir := fs.String("csvdir", "", "write every table as CSV into this directory")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON snapshot), /debug/vars (expvar), and /debug/pprof on this address")
+	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+
+	// The observability registry exists only when asked for; a nil registry
+	// turns every instrumentation call in the pipeline into a no-op.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *progress > 0 {
+		reg = obs.NewRegistry()
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		if srv, err = obs.Serve(*metricsAddr, reg); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "orsurvey: metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof)\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := reg.StartProgress(stderr, *progress)
+		defer stop()
 	}
 
 	var imps []netsim.Impairment
@@ -82,6 +113,7 @@ func run(args []string, stderr io.Writer) error {
 			AdaptiveTimeout: *adaptive,
 			UpstreamBackoff: *backoff,
 		},
+		Obs: reg,
 	}
 
 	var (
@@ -165,6 +197,9 @@ func run(args []string, stderr io.Writer) error {
 			}
 		}
 		fmt.Printf("CSV tables written to %s\n", *csvDir)
+	}
+	if srv != nil {
+		metricsUp(srv.Addr)
 	}
 	return nil
 }

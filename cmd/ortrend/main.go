@@ -7,6 +7,7 @@
 //
 //	ortrend [-epochs 6] [-shift 10] [-seed 1] [-workers N] [-mode synth|sim]
 //	        [-loss-model spec] [-retries N] [-adaptive-timeout] [-upstream-backoff]
+//	        [-metrics-addr host:port] [-progress interval]
 //
 // With -mode sim each epoch runs on the discrete-event network, where the
 // fault-injection flags apply — e.g. monitoring drift under persistent 30%
@@ -25,6 +26,7 @@ import (
 	"openresolver/internal/core"
 	"openresolver/internal/drift"
 	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
 )
 
 func main() {
@@ -33,6 +35,10 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// metricsUp is the test hook mirror of orsurvey's: called with the bound
+// metrics address after the trend is printed, before the server closes.
+var metricsUp = func(addr string) {}
 
 func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ortrend", flag.ContinueOnError)
@@ -46,11 +52,30 @@ func run(args []string, stderr io.Writer) error {
 	retries := fs.Int("retries", 0, "per-probe retransmission budget (sim mode; 0 = single-shot)")
 	adaptive := fs.Bool("adaptive-timeout", false, "adaptive Jacobson/Karn probe timeout (sim mode)")
 	backoff := fs.Bool("upstream-backoff", false, "resolver upstream retries back off with jitter (sim mode)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON snapshot), /debug/vars (expvar), and /debug/pprof on this address")
+	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (e.g. 2s; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" || *progress > 0 {
+		reg = obs.NewRegistry()
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		if srv, err = obs.Serve(*metricsAddr, reg); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "ortrend: metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof)\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := reg.StartProgress(stderr, *progress)
+		defer stop()
 	}
 	var imps []netsim.Impairment
 	if *lossModel != "" {
@@ -71,6 +96,7 @@ func run(args []string, stderr io.Writer) error {
 			AdaptiveTimeout: *adaptive,
 			UpstreamBackoff: *backoff,
 		},
+		Obs: reg,
 	})
 	if err != nil {
 		return err
@@ -81,5 +107,8 @@ func run(args []string, stderr io.Writer) error {
 	fmt.Println("responder population declines steadily while manipulated and malicious")
 	fmt.Println("answers hold or grow — the threat does not decay with the population,")
 	fmt.Println("which is why continuous behavioral monitoring is needed.")
+	if srv != nil {
+		metricsUp(srv.Addr)
+	}
 	return nil
 }

@@ -1,20 +1,3 @@
-// Package core is the public API of the reproduction: it assembles the
-// substrates (network simulator, DNS hierarchy, resolver population,
-// prober, threat intelligence, geolocation) into complete measurement
-// campaigns and produces the paper's full analysis report.
-//
-// Two execution modes share one analysis pipeline:
-//
-//   - RunSimulation executes the campaign end to end on the discrete-event
-//     network: the prober actually scans the (sampled) address space, open
-//     resolvers actually recurse through root → TLD → authoritative
-//     servers, and every R2 is a real packet captured at the prober. Run it
-//     at SampleShift ≥ 6; a full-scale simulation would need millions of
-//     live hosts.
-//
-//   - RunSynthetic streams the population's responses directly into the
-//     analysis pipeline as encoded wire packets, in constant memory, which
-//     makes the full-scale (SampleShift 0) campaign feasible and exact.
 package core
 
 import (
@@ -32,6 +15,7 @@ import (
 	"openresolver/internal/geo"
 	"openresolver/internal/ipv4"
 	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
 	"openresolver/internal/paperdata"
 	"openresolver/internal/population"
 	"openresolver/internal/prober"
@@ -79,6 +63,12 @@ type Config struct {
 	// retransmission machinery (simulation mode only; the zero value is a
 	// pristine network with the paper's single-shot prober).
 	Faults FaultPlan
+	// Obs, when non-nil, receives the campaign's observability stream:
+	// phase spans for every stage, one metrics shard per worker (the
+	// single-threaded simulator counts as one), and the virtual-vs-wall
+	// clock ratio. Metrics never influence the campaign — reports are
+	// bit-identical with Obs attached (pinned by the metrics golden test).
+	Obs *obs.Registry
 }
 
 // FaultPlan wires the fault-injection layer and the retransmission engines
@@ -205,6 +195,8 @@ func SynthesizePopulation(cfg Config, pop *population.Population, threat *threat
 	if !cfg.Faults.pristine() {
 		return nil, fmt.Errorf("core: fault injection requires simulation mode (the synthetic engine has no network to impair)")
 	}
+	tr := cfg.Obs.Tracer()
+	sp := tr.Begin("scan-universe")
 	reg := geo.DefaultRegistry()
 	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
 	if err != nil {
@@ -214,12 +206,16 @@ func SynthesizePopulation(cfg Config, pop *population.Population, threat *threat
 	if err != nil {
 		return nil, err
 	}
+	tr.End(sp)
 	clusterSize := cfg.scaledClusterSize()
+	sp = tr.Begin("synthesize")
 	acc, err := synthesize(cfg, pop, threat, reg, assigner, clusterSize)
 	if err != nil {
 		return nil, err
 	}
+	tr.End(sp)
 
+	sp = tr.Begin("report")
 	camp := syntheticCampaignCounts(cfg, pop, clusterSize)
 	ds := &Dataset{
 		Config:       cfg,
@@ -227,6 +223,7 @@ func SynthesizePopulation(cfg Config, pop *population.Population, threat *threat
 		Population:   pop,
 		ClustersUsed: int((pop.ExpectedR2 + uint64(clusterSize) - 1) / uint64(clusterSize)),
 	}
+	tr.End(sp)
 	return ds, nil
 }
 
@@ -310,6 +307,7 @@ type synthWorker struct {
 	clusterSize uint64
 	assigner    *population.Assigner
 	acc         *analysis.Accumulator
+	obs         *obs.Shard
 
 	query, resp, decoded dnswire.Message
 	buf, name            []byte
@@ -360,6 +358,9 @@ func (w *synthWorker) probe(cohort *population.Cohort, g uint64) error {
 	if err != nil {
 		return fmt.Errorf("core: encode response: %w", err)
 	}
+	w.obs.Inc(obs.CSynthProbes)
+	w.obs.Add(obs.CSynthBytes, uint64(len(w.buf)))
+	w.obs.Observe(obs.HRespBytes, int64(len(w.buf)))
 	w.acc.AddR2Into(src, w.buf, &w.decoded)
 	return nil
 }
@@ -385,17 +386,18 @@ func synthesize(cfg Config, pop *population.Population, threat *threatintel.DB,
 	if workers < 1 {
 		workers = 1
 	}
-	newWorker := func(a *population.Assigner) *synthWorker {
+	newWorker := func(a *population.Assigner, sh *obs.Shard) *synthWorker {
 		return &synthWorker{
 			clusterSize: uint64(clusterSize),
 			assigner:    a,
 			acc:         analysis.NewAccumulator(accCfg),
+			obs:         sh,
 			buf:         make([]byte, 0, 512),
 			name:        make([]byte, 0, 64),
 		}
 	}
 	if workers == 1 {
-		w := newWorker(assigner)
+		w := newWorker(assigner, cfg.Obs.NewShard("synth-0"))
 		if err := w.run(pop, shardPlan{start: 0, end: total}); err != nil {
 			return nil, err
 		}
@@ -407,8 +409,11 @@ func synthesize(cfg Config, pop *population.Population, threat *threatintel.DB,
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for i, plan := range plans {
+		// Shards are registered here, in shard order, so the snapshot's
+		// shard list is deterministic regardless of goroutine scheduling.
+		sh := cfg.Obs.NewShard(fmt.Sprintf("synth-%d", i))
 		wg.Add(1)
-		go func(i int, plan shardPlan) {
+		go func(i int, plan shardPlan, sh *obs.Shard) {
 			defer wg.Done()
 			fork := assigner.Fork()
 			for country, n := range plan.byCountry {
@@ -421,10 +426,10 @@ func synthesize(cfg Config, pop *population.Population, threat *threatintel.DB,
 				errs[i] = err
 				return
 			}
-			w := newWorker(fork)
+			w := newWorker(fork, sh)
 			ws[i] = w
 			errs[i] = w.run(pop, plan)
-		}(i, plan)
+		}(i, plan, sh)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -479,6 +484,8 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	if cfg.SampleShift < 6 {
 		return nil, fmt.Errorf("core: simulation mode needs SampleShift ≥ 6 (got %d); use RunSynthetic for full scale", cfg.SampleShift)
 	}
+	tr := cfg.Obs.Tracer()
+	sp := tr.Begin("scan-universe")
 	reg := geo.DefaultRegistry()
 	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
 	if err != nil {
@@ -488,6 +495,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	if err != nil {
 		return nil, err
 	}
+	tr.End(sp)
 
 	sim := netsim.New(netsim.Config{
 		Seed:            cfg.Seed,
@@ -520,6 +528,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	// never reaches (skipped sends, lost probes) are never built, and since
 	// NewResolver draws no randomness and delivery accounting is unchanged,
 	// the run is bit-identical to eager registration.
+	sp = tr.Begin("population-place")
 	cohortOf := make(map[ipv4.Addr]int32, pop.ExpectedR2)
 	for ci, cohort := range pop.Cohorts {
 		for i := uint64(0); i < cohort.Count; i++ {
@@ -530,6 +539,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 			cohortOf[src] = int32(ci)
 		}
 	}
+	tr.End(sp)
 	var tune func(*dnssrv.Recursive)
 	if cfg.Faults.UpstreamBackoff {
 		tune = func(rec *dnssrv.Recursive) { rec.Backoff, rec.Jitter = true, true }
@@ -549,6 +559,11 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	probeLog.Keep = cfg.KeepPackets
 	probeLog.Sink = func(p capture.Packet) { acc.AddR2(p.Src, p.Payload) }
 
+	// One metrics shard covers the whole simulation: the discrete-event
+	// network is single-threaded, so the simulator and the prober share it.
+	sh := cfg.Obs.NewShard("sim")
+	sim.SetObserver(sh)
+
 	infra := map[ipv4.Addr]bool{ProberAddr: true, RootAddr: true, TLDAddr: true, AuthAddr: true}
 	pr, err := prober.Start(sim, prober.Config{
 		Addr:            ProberAddr,
@@ -562,19 +577,30 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 		SendSkip:        cfg.sendSkip(),
 		Auth:            auth,
 		Log:             probeLog,
+		Obs:             sh,
 		Skip:            func(a ipv4.Addr) bool { return infra[a] },
 	})
 	if err != nil {
 		return nil, err
 	}
 
+	sp = tr.Begin("simulate")
+	wallStart := time.Now()
 	if err := sim.Run(0); err != nil {
 		return nil, err
 	}
+	if sh != nil {
+		// Virtual-vs-wall clock ratio: how much simulated time each wall
+		// second buys. Stored as two mergeable counters; consumers divide.
+		sh.Add(obs.CSimWallNanos, uint64(time.Since(wallStart)))
+		sh.Add(obs.CSimVirtualNanos, uint64(sim.Now()))
+	}
+	tr.End(sp)
 	if !pr.Done() {
 		return nil, fmt.Errorf("core: simulation quiesced before the prober finished")
 	}
 
+	sp = tr.Begin("report")
 	authC := authLog.Counters()
 	camp := analysis.CampaignCounts{
 		Q1: pr.Sent(), Q2: authC.Q2, R1: authC.R1, R2: probeLog.Counters().R2,
@@ -596,5 +622,6 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	if cfg.KeepPackets {
 		ds.Roles = classify.Classify(probeLog.R2(), authLog.Packets())
 	}
+	tr.End(sp)
 	return ds, nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"openresolver/internal/analysis"
 	"openresolver/internal/core"
+	"openresolver/internal/obs"
 	"openresolver/internal/paperdata"
 	"openresolver/internal/population"
 	"openresolver/internal/threatintel"
@@ -47,6 +48,10 @@ type Config struct {
 	// Faults injects network impairments and enables the retransmission
 	// machinery in every epoch (sim mode only).
 	Faults core.FaultPlan
+	// Obs, when non-nil, receives every epoch's observability stream: an
+	// "epoch <label>" span wraps each campaign, and the campaign's own
+	// spans and metrics shards nest inside (see core.Config.Obs).
+	Obs *obs.Registry
 }
 
 // Point is one monitoring epoch's summary.
@@ -101,19 +106,22 @@ func Trend(cfg Config) ([]Point, error) {
 		}
 		ccfg := core.Config{
 			Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed + int64(i),
-			Workers: cfg.Workers, Faults: cfg.Faults,
+			Workers: cfg.Workers, Faults: cfg.Faults, Obs: cfg.Obs,
 		}
+		label := fmt.Sprintf("%.1f", 2013+5*w)
+		sp := cfg.Obs.Tracer().Begin("epoch " + label)
 		var ds *core.Dataset
 		if cfg.Mode == "sim" {
 			ds, err = core.SimulatePopulation(ccfg, mixed, merged)
 		} else {
 			ds, err = core.SynthesizePopulation(ccfg, mixed, merged)
 		}
+		cfg.Obs.Tracer().End(sp)
 		if err != nil {
 			return nil, fmt.Errorf("epoch %d: %w", i, err)
 		}
 		points = append(points, Point{
-			Label:  fmt.Sprintf("%.1f", 2013+5*w),
+			Label:  label,
 			Weight: w,
 			Report: ds.Report,
 		})

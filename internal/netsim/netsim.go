@@ -1,22 +1,3 @@
-// Package netsim is a deterministic discrete-event simulator of a UDP-like
-// IPv4 network. It is the substrate on which the reproduction runs the
-// paper's measurement: the prober, the root/TLD/authoritative name servers
-// and millions of simulated open resolvers are all hosts exchanging
-// datagrams over a virtual network with configurable latency, jitter and
-// loss, under a virtual clock.
-//
-// The simulator is single-threaded and fully deterministic: a run is a pure
-// function of (configuration, seed). Virtual time advances only when the
-// event at the head of the queue is executed, so a campaign that takes "10
-// hours and 35 minutes" of virtual time (the paper's Table II) completes in
-// seconds of wall-clock time.
-//
-// The event loop is allocation-free in steady state: the priority queue is
-// a hand-rolled 4-ary min-heap over event values (no container/heap `any`
-// boxing), timers live in pooled slots invalidated by generation counters,
-// hosts sit in a flat open-addressed table backed by a chunked Node arena,
-// and datagram payload buffers can be recycled through a pool via
-// Node.PayloadBuf / Node.SendPooled.
 package netsim
 
 import (
@@ -26,6 +7,7 @@ import (
 	"time"
 
 	"openresolver/internal/ipv4"
+	"openresolver/internal/obs"
 )
 
 // Datagram is one UDP-like packet in flight.
@@ -134,6 +116,11 @@ type Sim struct {
 	payloads  [][]byte // recycled datagram payload buffers
 	stats     Stats
 	faults    FaultStats
+	// obs mirrors the counters into the observability layer; nil (the
+	// default) keeps every sink call an inlined no-op. Counters never feed
+	// back into simulation behaviour, so runs stay bit-identical with
+	// observation on (pinned by TestSimulationGoldenWithMetrics).
+	obs *obs.Shard
 
 	// Scratch cells for sendImpaired: Apply takes pointers through an
 	// interface, which would otherwise force a heap escape per packet.
@@ -170,6 +157,10 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // SetSpawner installs the lazy host instantiation hook. Pass nil to remove.
 func (s *Sim) SetSpawner(fn Spawner) { s.spawner = fn }
+
+// SetObserver attaches a metrics shard; every packet and timer event is
+// mirrored into it from then on. Pass nil to detach (the default state).
+func (s *Sim) SetObserver(sh *obs.Shard) { s.obs = sh }
 
 // --- host table ---------------------------------------------------------
 
@@ -335,8 +326,10 @@ func (s *Sim) putPayload(b []byte) {
 // payload buffer is recycled once the datagram is consumed.
 func (s *Sim) send(dg Datagram, pooled bool) {
 	s.stats.Sent++
+	s.obs.Inc(obs.CSimSent)
 	if s.cfg.Loss > 0 && s.rng.Float64() < s.cfg.Loss {
 		s.stats.Lost++
+		s.obs.Inc(obs.CSimLost)
 		if pooled {
 			s.putPayload(dg.Payload)
 		}
@@ -364,16 +357,21 @@ func (s *Sim) sendImpaired(dg Datagram, pooled bool) {
 	s.impDg.Payload = nil // no stale reference into the payload pool
 	if f.Drop {
 		s.stats.Lost++
+		s.obs.Inc(obs.CSimLost)
 		s.faults.Dropped++
 		switch f.Cause {
 		case CauseLoss:
 			s.faults.LossDrops++
+			s.obs.Inc(obs.CFaultLossDrop)
 		case CauseBurst:
 			s.faults.BurstDrops++
+			s.obs.Inc(obs.CFaultBurstDrop)
 		case CauseBlackhole:
 			s.faults.Blackholed++
+			s.obs.Inc(obs.CFaultBlackholed)
 		case CauseBrownout:
 			s.faults.BrownedOut++
+			s.obs.Inc(obs.CFaultBrownedOut)
 		}
 		if pooled {
 			s.putPayload(dg.Payload)
@@ -384,6 +382,7 @@ func (s *Sim) sendImpaired(dg Datagram, pooled bool) {
 		cp := dg
 		cp.Payload = append(s.getPayload(), dg.Payload...)
 		s.faults.Duplicated++
+		s.obs.Inc(obs.CFaultDuplicated)
 		delay := s.cfg.Latency(cp.Src, cp.Dst, s.rng)
 		s.schedule(s.now+delay, event{kind: evDeliver, dg: cp, pooled: true})
 	}
@@ -396,9 +395,11 @@ func (s *Sim) sendImpaired(dg Datagram, pooled bool) {
 		bit := f.CorruptBit % (len(dg.Payload) * 8)
 		dg.Payload[bit>>3] ^= 1 << (bit & 7)
 		s.faults.Corrupted++
+		s.obs.Inc(obs.CFaultCorrupted)
 	}
 	if f.ExtraDelay > 0 {
 		s.faults.Reordered++
+		s.obs.Inc(obs.CFaultReordered)
 	}
 	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng) + f.ExtraDelay
 	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg, pooled: pooled})
@@ -412,6 +413,7 @@ func (s *Sim) Step() (bool, error) {
 	if len(s.events) == 0 {
 		return false, nil
 	}
+	s.obs.Observe(obs.HQueueDepth, int64(len(s.events)))
 	ev := s.popEvent()
 	s.now = ev.at
 	switch ev.kind {
@@ -422,18 +424,21 @@ func (s *Sim) Step() (bool, error) {
 		}
 		if !ok {
 			s.stats.NoRoute++
+			s.obs.Inc(obs.CSimNoRoute)
 			if ev.pooled {
 				s.putPayload(ev.dg.Payload)
 			}
 			return true, nil
 		}
 		s.stats.Delivered++
+		s.obs.Inc(obs.CSimDelivered)
 		n.host.HandleDatagram(n, ev.dg)
 		if ev.pooled {
 			s.putPayload(ev.dg.Payload)
 		}
 	case evTimer:
 		s.stats.Timers++
+		s.obs.Inc(obs.CSimTimers)
 		sl := &s.timers[ev.slot]
 		if sl.gen != ev.gen {
 			// Lazily deleted: Stop invalidated the slot; the popped event

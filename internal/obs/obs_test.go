@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket function at every power of
+// two and its neighbours: value v lands in bucket bits.Len64(v), whose
+// bounds satisfy lo ≤ v < hi.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	var h Histogram
+	values := []uint64{0, 1, 2, 3, 4, 7, 8, 255, 256, 1<<32 - 1, 1 << 32, 1<<63 - 1, 1 << 63}
+	for _, v := range values {
+		h.Observe(int64(v)) // 1<<63 wraps negative and clamps to 0; checked below
+	}
+	// Rebuild expected bucket counts directly from the definition.
+	want := map[int]uint64{}
+	for _, v := range values {
+		if int64(v) < 0 {
+			v = 0 // Observe clamps negative int64 inputs
+		}
+		want[bits.Len64(v)]++
+	}
+	for b := 0; b < NumBuckets; b++ {
+		if got := h.buckets[b]; got != want[b] {
+			t.Errorf("bucket %d = %d, want %d", b, got, want[b])
+		}
+	}
+	// Bounds invariants: contiguous coverage, v ∈ [lo, hi) for its bucket.
+	for b := 1; b < NumBuckets; b++ {
+		lo, _ := BucketBounds(b)
+		_, prevHi := BucketBounds(b - 1)
+		if lo != prevHi {
+			t.Errorf("bucket %d lo = %d, want previous hi %d", b, lo, prevHi)
+		}
+	}
+	for _, v := range []uint64{0, 1, 5, 1023, 1024, 1 << 40} {
+		b := bits.Len64(v)
+		lo, hi := BucketBounds(b)
+		if v < lo || v >= hi {
+			t.Errorf("value %d outside its bucket %d bounds [%d, %d)", v, b, lo, hi)
+		}
+	}
+}
+
+// TestHistogramMinMaxMean checks the summary stats over a known set.
+func TestHistogramMinMaxMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{30, 10, 20} {
+		h.Observe(v)
+	}
+	hs := h.Snapshot()
+	if hs.Count != 3 || hs.Sum != 60 || hs.Min != 10 || hs.Max != 30 || hs.Mean != 20 {
+		t.Errorf("snapshot = %+v, want count 3 sum 60 min 10 max 30 mean 20", hs)
+	}
+	// Negative observations clamp to zero and update min.
+	h.Observe(-5)
+	if hs := h.Snapshot(); hs.Min != 0 || hs.Count != 4 {
+		t.Errorf("after clamped observe: %+v", hs)
+	}
+}
+
+// TestHistogramMergeCommutative is the determinism argument as a property
+// test: splitting any observation sequence across shards and merging the
+// shards in any order must reproduce the single-histogram result exactly.
+func TestHistogramMergeCommutative(t *testing.T) {
+	f := func(vals []uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const shards = 4
+		var whole Histogram
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = &Histogram{}
+		}
+		for _, v := range vals {
+			whole.Observe(int64(v))
+			parts[rng.Intn(shards)].Observe(int64(v))
+		}
+		// Merge the parts in a random permutation.
+		var merged Histogram
+		for _, i := range rng.Perm(shards) {
+			merged.Merge(parts[i])
+		}
+		return reflect.DeepEqual(whole.Snapshot(), merged.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardMergeCommutative extends the property to whole shards: counters
+// and histograms merged in any shard order give identical totals.
+func TestShardMergeCommutative(t *testing.T) {
+	f := func(incs []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const shards = 3
+		parts := make([]*Shard, shards)
+		for i := range parts {
+			parts[i] = NewShard("s")
+		}
+		whole := NewShard("whole")
+		for _, x := range incs {
+			c := Counter(x) % NumCounters
+			h := Hist(x) % NumHists
+			s := parts[rng.Intn(shards)]
+			s.Inc(c)
+			s.Observe(h, int64(x))
+			whole.Inc(c)
+			whole.Observe(h, int64(x))
+		}
+		for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+			merged := NewShard("m")
+			for _, i := range order {
+				parts[i].MergeInto(merged)
+			}
+			for c := Counter(0); c < NumCounters; c++ {
+				if merged.Counter(c) != whole.Counter(c) {
+					return false
+				}
+			}
+			for h := Hist(0); h < NumHists; h++ {
+				if !reflect.DeepEqual(merged.Histogram(h).Snapshot(), whole.Histogram(h).Snapshot()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNilSafety drives every sink through nil handles: a campaign without
+// observability must be able to call everything unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	sh := r.NewShard("x")
+	if sh != nil {
+		t.Fatal("nil registry returned a live shard")
+	}
+	sh.Inc(CSimSent)
+	sh.Add(CSimSent, 5)
+	sh.Observe(HRTT, 42)
+	sh.MergeInto(nil)
+	if sh.Counter(CSimSent) != 0 || sh.Label() != "" || sh.Histogram(HRTT).Count() != 0 {
+		t.Error("nil shard leaked state")
+	}
+	tr := r.Tracer()
+	if tr != nil {
+		t.Fatal("nil registry returned a live tracer")
+	}
+	id := tr.Begin("phase")
+	tr.End(id)
+	if tr.Spans() != nil || tr.Current() != "" {
+		t.Error("nil tracer recorded spans")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.Merge(&Histogram{})
+	if h.Count() != 0 {
+		t.Error("nil histogram counted")
+	}
+	if s := r.Snapshot(); len(s.Shards) != 0 || len(s.Phases) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	r.Publish("nil-registry")
+	if stop := r.StartProgress(nil, time.Second); stop == nil {
+		t.Error("nil registry progress returned nil stop")
+	} else {
+		stop()
+	}
+}
+
+// TestTracerSpans covers begin/end ordering, nesting, the open-span probe
+// and double-End idempotence.
+func TestTracerSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	outer := tr.Begin("outer")
+	inner := tr.Begin("inner")
+	if got := tr.Current(); got != "inner" {
+		t.Errorf("Current = %q, want inner", got)
+	}
+	tr.End(inner)
+	if got := tr.Current(); got != "outer" {
+		t.Errorf("Current after inner end = %q, want outer", got)
+	}
+	tr.End(outer)
+	tr.End(outer) // double End: no-op
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "outer" || spans[1].Name != "inner" {
+		t.Errorf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	for _, sp := range spans {
+		if !sp.Done {
+			t.Errorf("span %q not closed", sp.Name)
+		}
+		if sp.End < sp.Start {
+			t.Errorf("span %q ends before it starts: %v < %v", sp.Name, sp.End, sp.Start)
+		}
+	}
+	if tr.Current() != "" {
+		t.Errorf("Current with all spans closed = %q, want empty", tr.Current())
+	}
+}
+
+// TestRegistrySnapshot checks the merged export: counters summed across
+// shards, histograms merged, per-shard breakdown limited to nonzero
+// counters, and runtime stats populated.
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewShard("worker-0")
+	b := r.NewShard("worker-1")
+	a.Add(CProbeSent, 10)
+	b.Add(CProbeSent, 5)
+	b.Inc(CProbeRecv)
+	a.Observe(HRTT, int64(20*time.Millisecond))
+	b.Observe(HRTT, int64(40*time.Millisecond))
+	sp := r.Tracer().Begin("simulate")
+	r.Tracer().End(sp)
+
+	s := r.Snapshot()
+	if got := s.Counters[CounterName(CProbeSent)]; got != 15 {
+		t.Errorf("merged probe.sent = %d, want 15", got)
+	}
+	if got := s.Counters[CounterName(CProbeRecv)]; got != 1 {
+		t.Errorf("merged probe.recv = %d, want 1", got)
+	}
+	if got := s.Histograms[HistName(HRTT)]; got.Count != 2 || got.Min != uint64(20*time.Millisecond) {
+		t.Errorf("merged rtt histogram = %+v", got)
+	}
+	if len(s.Shards) != 2 || s.Shards[0].Label != "worker-0" {
+		t.Fatalf("shards = %+v", s.Shards)
+	}
+	if _, ok := s.Shards[0].Counters[CounterName(CProbeRecv)]; ok {
+		t.Error("zero counter reported in per-shard breakdown")
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "simulate" || !s.Phases[0].Done {
+		t.Errorf("phases = %+v", s.Phases)
+	}
+	if s.Runtime.HeapBytes == 0 || s.Runtime.Goroutines == 0 {
+		t.Errorf("runtime sample empty: %+v", s.Runtime)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"probe.sent"`, `"probe.rtt_nanos"`, `"phases"`, `"runtime"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("snapshot JSON missing %s", key)
+		}
+	}
+}
+
+// TestCounterAndHistNamesComplete guards the name tables against a new
+// enum value landing without a snapshot identifier.
+func TestCounterAndHistNamesComplete(t *testing.T) {
+	for c := Counter(0); c < NumCounters; c++ {
+		if CounterName(c) == "" {
+			t.Errorf("counter %d has no name", c)
+		}
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		if HistName(h) == "" {
+			t.Errorf("histogram %d has no name", h)
+		}
+	}
+}
+
+// TestObserveAllocFree pins the hot-path sinks at zero allocations.
+func TestObserveAllocFree(t *testing.T) {
+	sh := NewShard("hot")
+	if avg := testing.AllocsPerRun(1000, func() {
+		sh.Inc(CSimSent)
+		sh.Add(CSimSent, 2)
+		sh.Observe(HQueueDepth, 17)
+	}); avg != 0 {
+		t.Errorf("shard sinks allocate %v/op, want 0", avg)
+	}
+}

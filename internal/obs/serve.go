@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the observability HTTP endpoint: the JSON snapshot at
+// /metrics, expvar at /debug/vars and net/http/pprof under /debug/pprof/.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and serves r's observability surface until Close. The
+// registry snapshot is also published to expvar as "openresolver" so it
+// shows up in /debug/vars next to the runtime's memstats.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	r.Publish("openresolver")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// StartProgress launches a goroutine that writes a one-line campaign
+// summary to w every interval — probe and event counters, fault drops,
+// live heap, and the currently open phase. The returned stop function
+// halts the printer, waits for it to finish, and writes one final line so
+// a run shorter than the interval still reports its end state; it is safe
+// to call once. A nil registry or non-positive interval yields an inert
+// stop function.
+func (r *Registry) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if r == nil || interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				r.writeProgressLine(w)
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+		r.writeProgressLine(w)
+	}
+}
+
+// writeProgressLine formats one progress sample from atomic shard reads.
+func (r *Registry) writeProgressLine(w io.Writer) {
+	m := r.Merged()
+	drops := m.Counter(CFaultLossDrop) + m.Counter(CFaultBurstDrop) +
+		m.Counter(CFaultBlackholed) + m.Counter(CFaultBrownedOut)
+	rs := SampleRuntime()
+	phase := r.Tracer().Current()
+	if phase == "" {
+		phase = "-"
+	}
+	fmt.Fprintf(w,
+		"obs[%7.1fs] phase=%s probes=%d recv=%d retrans=%d synth=%d events=%d lost=%d faultdrops=%d heap=%dMB\n",
+		time.Since(r.Start()).Seconds(), phase,
+		m.Counter(CProbeSent), m.Counter(CProbeRecv), m.Counter(CProbeRetransmits),
+		m.Counter(CSynthProbes),
+		m.Counter(CSimDelivered)+m.Counter(CSimTimers),
+		m.Counter(CSimLost), drops, rs.HeapBytes>>20)
+}

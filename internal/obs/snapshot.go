@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func loadU64(p *uint64) uint64 { return atomic.LoadUint64(p) }
+
+// Snapshot is a point-in-time export of a Registry: the merged counters
+// and histograms, the per-shard counter breakdown, the phase spans, and a
+// sample of the Go runtime's GC/heap statistics. It marshals to the JSON
+// served at /metrics and published through expvar.
+type Snapshot struct {
+	TakenAt       time.Time                    `json:"taken_at"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]uint64            `json:"counters"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	Shards        []ShardSnapshot              `json:"shards,omitempty"`
+	Phases        []Span                       `json:"phases,omitempty"`
+	Runtime       RuntimeStats                 `json:"runtime"`
+}
+
+// ShardSnapshot is one shard's nonzero counters, keyed by counter name.
+type ShardSnapshot struct {
+	Label    string            `json:"label"`
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// HistogramSnapshot is a read-out of one merged histogram. Buckets lists
+// only occupied buckets, each with its half-open value range.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram bucket covering values in [Lo, Hi).
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// RuntimeStats is a fixed sample of runtime/metrics: enough to correlate a
+// campaign's observability counters with the allocator and collector
+// without dumping the whole metric namespace.
+type RuntimeStats struct {
+	HeapBytes       uint64  `json:"heap_bytes"`        // live heap (objects class)
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"` // cumulative allocated bytes
+	TotalAllocObjs  uint64  `json:"total_alloc_objects"`
+	GCCycles        uint64  `json:"gc_cycles"`
+	Goroutines      uint64  `json:"goroutines"`
+	GCCPUSeconds    float64 `json:"gc_cpu_seconds"`
+}
+
+// runtimeSamples is the fixed runtime/metrics query, prepared once.
+var runtimeSamples = []metrics.Sample{
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/heap/allocs:bytes"},
+	{Name: "/gc/heap/allocs:objects"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/cpu/classes/gc/total:cpu-seconds"},
+}
+
+var runtimeMu sync.Mutex
+
+// SampleRuntime reads the fixed runtime/metrics sample set.
+func SampleRuntime() RuntimeStats {
+	runtimeMu.Lock()
+	defer runtimeMu.Unlock()
+	metrics.Read(runtimeSamples)
+	get := func(i int) uint64 {
+		if runtimeSamples[i].Value.Kind() == metrics.KindUint64 {
+			return runtimeSamples[i].Value.Uint64()
+		}
+		return 0
+	}
+	rs := RuntimeStats{
+		HeapBytes:       get(0),
+		TotalAllocBytes: get(1),
+		TotalAllocObjs:  get(2),
+		GCCycles:        get(3),
+		Goroutines:      get(4),
+	}
+	if runtimeSamples[5].Value.Kind() == metrics.KindFloat64 {
+		rs.GCCPUSeconds = runtimeSamples[5].Value.Float64()
+	}
+	return rs
+}
+
+// Snapshot merges every shard and assembles the full export. Safe to call
+// while the campaign is running: shard reads are atomic, so the snapshot
+// is a consistent-enough view for monitoring (counters may be mid-batch,
+// never torn). A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		TakenAt:    time.Now(),
+		Counters:   make(map[string]uint64, int(NumCounters)),
+		Histograms: make(map[string]HistogramSnapshot, int(NumHists)),
+		Runtime:    SampleRuntime(),
+	}
+	if r == nil {
+		return snap
+	}
+	snap.UptimeSeconds = time.Since(r.start).Seconds()
+	merged := r.Merged()
+	for c := Counter(0); c < NumCounters; c++ {
+		snap.Counters[CounterName(c)] = merged.Counter(c)
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		snap.Histograms[HistName(h)] = merged.Histogram(h).Snapshot()
+	}
+	for _, s := range r.Shards() {
+		ss := ShardSnapshot{Label: s.Label(), Counters: map[string]uint64{}}
+		for c := Counter(0); c < NumCounters; c++ {
+			if v := s.Counter(c); v > 0 {
+				ss.Counters[CounterName(c)] = v
+			}
+		}
+		snap.Shards = append(snap.Shards, ss)
+	}
+	snap.Phases = r.tracer.Spans()
+	return snap
+}
+
+// Snapshot reads the histogram into its export form.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var hs HistogramSnapshot
+	if h == nil {
+		return hs
+	}
+	hs.Count = h.Count()
+	hs.Sum = loadU64(&h.sum)
+	if m := loadU64(&h.minOff1); m != 0 {
+		hs.Min = m - 1
+	}
+	hs.Max = loadU64(&h.max)
+	if hs.Count > 0 {
+		hs.Mean = float64(hs.Sum) / float64(hs.Count)
+	}
+	for b := 0; b < NumBuckets; b++ {
+		if n := loadU64(&h.buckets[b]); n > 0 {
+			lo, hi := BucketBounds(b)
+			hs.Buckets = append(hs.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return hs
+}
+
+// JSON renders the snapshot with stable key order (maps marshal sorted).
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+var publishMu sync.Mutex
+
+// Publish registers the registry's snapshot as the expvar variable name,
+// so it appears in /debug/vars alongside the runtime's memstats. Expvar
+// forbids duplicate names, so re-publishing under an existing name (e.g.
+// a second campaign in one process) silently replaces nothing and the
+// previous registry keeps the name.
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,9 +1,3 @@
-// Package prober implements the measurement system of §III: a modified
-// ZMap that walks the scan universe in pseudorandom order at a configured
-// packet rate, assigns each probe a unique subdomain from the two-tier
-// cluster structure (Fig. 3), collects R2 responses, and reuses the
-// subdomains that drew no response — the optimization that reduced the
-// clusters needed from a theoretical 800 to 4 (§III-B).
 package prober
 
 import (
@@ -17,6 +11,7 @@ import (
 	"openresolver/internal/dnswire"
 	"openresolver/internal/ipv4"
 	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
 	"openresolver/internal/scan"
 )
 
@@ -60,6 +55,10 @@ type Config struct {
 	Auth *dnssrv.AuthServer
 	// Log captures Q1 counts and R2 packets.
 	Log *capture.ProbeLog
+	// Obs, when non-nil, mirrors the prober's counters and response
+	// latencies into the observability layer. It never influences probing
+	// decisions, so campaigns stay bit-identical with it attached.
+	Obs *obs.Shard
 	// Skip marks addresses never to probe (the measurement's own
 	// infrastructure).
 	Skip func(ipv4.Addr) bool
@@ -338,6 +337,7 @@ func (p *Prober) sweep(now time.Duration) {
 			if !p.cfg.DisableReuse && !p.isBurned(pn.idx) {
 				p.avail = append(p.avail, pn.idx)
 				p.reused++
+				p.cfg.Obs.Inc(obs.CProbeReused)
 			}
 			p.sendAt[pn.idx] = -1
 		}
@@ -394,6 +394,7 @@ func (p *Prober) sendOne(now time.Duration) bool {
 	}
 	p.node.SendPooled(target, p.srcPort, dnssrv.DNSPort, wire)
 	p.sent++
+	p.cfg.Obs.Inc(obs.CProbeSent)
 	p.cfg.Log.CountQ1(1)
 	p.sendAt[idx] = now
 	if p.retransmitting() {
@@ -442,17 +443,20 @@ func (p *Prober) LatencyPercentiles(pcts ...float64) []time.Duration {
 // port is a candidate R2.
 func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 	p.received++
+	p.cfg.Obs.Inc(obs.CProbeRecv)
 	p.cfg.Log.AddR2(n.Now(), dg)
 	// Burn the subdomain so it is never reused (it may now be cached at
 	// the responding resolver) and record the response latency. Decoding
 	// reuses the scratch message; nothing below retains it.
 	if err := dnswire.UnpackInto(&p.rmsg, dg.Payload); err != nil {
 		p.badPackets++ // e.g. corrupted in flight
+		p.cfg.Obs.Inc(obs.CProbeBad)
 		return
 	}
 	q, ok := p.rmsg.Question1()
 	if !ok {
 		p.badPackets++
+		p.cfg.Obs.Inc(obs.CProbeBad)
 		return
 	}
 	pn, err := dnssrv.ParseProbeName(q.Name, p.cfg.SLD)
@@ -463,6 +467,7 @@ func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 		// A response for a rotated-away cluster: the answer came back after
 		// its subdomain's whole cluster was retired.
 		p.late++
+		p.cfg.Obs.Inc(obs.CProbeLate)
 		return
 	}
 	if pn.Index < 0 || pn.Index >= len(p.sendAt) {
@@ -475,13 +480,17 @@ func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 			lat := n.Now() - sent
 			p.latencies = append(p.latencies, lat)
 			p.rtt.observe(lat)
+			p.cfg.Obs.Observe(obs.HRTT, int64(lat))
 		}
 		p.sendAt[pn.Index] = -1
 		p.answered++
+		p.cfg.Obs.Inc(obs.CProbeAnswered)
 	} else if p.isBurned(pn.Index) {
 		p.dupResponses++ // second answer for an already-burned subdomain
+		p.cfg.Obs.Inc(obs.CProbeDup)
 	} else {
 		p.late++ // answer arrived after the sweep returned the name
+		p.cfg.Obs.Inc(obs.CProbeLate)
 	}
 	p.burn(pn.Index)
 }

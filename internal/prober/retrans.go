@@ -15,6 +15,7 @@ import (
 
 	"openresolver/internal/dnssrv"
 	"openresolver/internal/dnswire"
+	"openresolver/internal/obs"
 )
 
 // rttEstimator is the Jacobson/Karn smoothed RTT tracker (RFC 6298
@@ -135,10 +136,12 @@ func (p *Prober) sweepScan(now time.Duration) {
 func (p *Prober) giveUp(idx int) {
 	if p.cfg.Retries > 0 {
 		p.gaveUp++
+		p.cfg.Obs.Inc(obs.CProbeGaveUp)
 	}
 	if !p.cfg.DisableReuse && !p.isBurned(idx) {
 		p.avail = append(p.avail, idx)
 		p.reused++
+		p.cfg.Obs.Inc(obs.CProbeReused)
 	}
 	p.sendAt[idx] = -1
 }
@@ -186,6 +189,7 @@ func (p *Prober) retransmit(idx int, now time.Duration) {
 	}
 	p.node.SendPooled(p.target[idx], p.srcPort, dnssrv.DNSPort, wire)
 	p.retransmits++
+	p.cfg.Obs.Inc(obs.CProbeRetransmits)
 	p.sendAt[idx] = now
 	p.pending = append(p.pending, pendingName{idx: idx, cluster: p.cluster, deadline: now + p.backoff(p.attempts[idx])})
 }

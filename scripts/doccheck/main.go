@@ -1,0 +1,95 @@
+// Command doccheck verifies that every Go package under the given root
+// directories carries a package doc comment — the documentation gate
+// behind `make doccheck`. It parses comments only (no type checking), so
+// it runs in milliseconds; a package documents itself if any of its
+// non-test files has a doc comment attached to the package clause.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./internal", "./cmd"}
+	}
+	var undocumented []string
+	for _, root := range roots {
+		dirs, err := packageDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			ok, err := documented(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			if !ok {
+				undocumented = append(undocumented, dir)
+			}
+		}
+	}
+	if len(undocumented) > 0 {
+		sort.Strings(undocumented)
+		for _, dir := range undocumented {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: no package doc comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// packageDirs returns every directory under root containing at least one
+// non-test .go file.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// documented reports whether any non-test file in dir attaches a doc
+// comment to its package clause.
+func documented(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}
