@@ -11,13 +11,26 @@
 #   make profile    bench-sim under -cpuprofile/-memprofile for pprof
 #   make cover      test suite with coverage profile + per-function summary
 #   make doccheck   every package documented (go vet + scripts/doccheck)
+#   make smoke      2×2 orsweep grid: pinned baseline digest + pool invariance
+#   make benchdiff  fresh benchmarks vs checked-in baselines (regression gate)
+#   make ci         exactly what .github/workflows/ci.yml runs
 
 GO ?= go
 BENCH_OUT ?= BENCH_PR1.json
+BENCH_FRESH ?= bench_fresh.json
 PROFILE_DIR ?= profiles
 COVER_OUT ?= cover.out
+SMOKE_DIR ?= smoke-out
 
-.PHONY: all build test chaos race vet bench bench-sim profile cover doccheck
+# The loss-free 2018 cell of the smoke grid below, pinned. It is the
+# FaultDigest of RunSimulation(year=2018, shift=14, seed=1) — the same
+# digest family internal/core's golden tests and internal/sweep's
+# TestSweepGoldenCell pin. Re-derive by running the smoke grid and reading
+# cells[0].digest from the matrix JSON if a change legitimately re-baselines
+# the campaign bytes.
+SMOKE_BASELINE := 5c749ccd942b9413e4369765c5b28423c0678dc6910e2521c6fceb5b66623278
+
+.PHONY: all build test chaos race vet bench bench-sim benchdiff profile cover doccheck smoke ci
 
 all: build vet test
 
@@ -71,6 +84,38 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 3 .
 	$(GO) test -run '^$$' -bench 'EventThroughput|TimerEnqueueDequeue|HostLookup' \
 		-benchmem -count 3 ./internal/netsim
+
+# Benchmark-regression gate: run the committed benchmark suites once, fold
+# the output through bench2json, and compare against the checked-in
+# baselines. Fails on >25% ns/op growth or any allocs/op growth for any
+# benchmark both sides know. bench_fresh.json is scratch (gitignored).
+benchdiff:
+	( $(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count 1 . ; \
+	  $(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 1 . ; \
+	  $(GO) test -run '^$$' -bench 'TimerEnqueueDequeue|HostLookup' -benchmem -count 1 ./internal/netsim ) \
+	  | $(GO) run ./scripts/bench2json > $(BENCH_FRESH)
+	$(GO) run ./scripts/benchdiff -fresh $(BENCH_FRESH) BENCH_PR1.json BENCH_PR2.json
+
+# Sweep smoke: a 2×2 grid (2018/2013 × pristine/20% loss) at the golden
+# scale, run twice with different pool sizes. Asserts the matrix is
+# byte-identical across schedules and that the loss-free 2018 baseline cell
+# reproduces the pinned digest.
+smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/orsweep -shift 14 -seed 1 -year 2018 -year 2013 \
+		-loss none -loss loss:0.2 -workers 1 \
+		-json $(SMOKE_DIR)/matrix1.json > $(SMOKE_DIR)/matrix1.txt
+	$(GO) run ./cmd/orsweep -shift 14 -seed 1 -year 2018 -year 2013 \
+		-loss none -loss loss:0.2 -workers 4 \
+		-json $(SMOKE_DIR)/matrix4.json > $(SMOKE_DIR)/matrix4.txt
+	cmp $(SMOKE_DIR)/matrix1.json $(SMOKE_DIR)/matrix4.json
+	cmp $(SMOKE_DIR)/matrix1.txt $(SMOKE_DIR)/matrix4.txt
+	grep -q '"digest": "$(SMOKE_BASELINE)"' $(SMOKE_DIR)/matrix1.json
+	@echo "smoke: matrix invariant across pool sizes; baseline digest pinned"
+
+# The CI gauntlet, runnable locally: exactly the blocking jobs of
+# .github/workflows/ci.yml (the workflow adds a non-blocking benchdiff).
+ci: build vet test race chaos doccheck smoke
 
 # CPU and heap profiles of the simulated campaign for pprof:
 #   go tool pprof $(PROFILE_DIR)/cpu.out

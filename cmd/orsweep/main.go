@@ -1,0 +1,244 @@
+// Command orsweep expands a declarative campaign grid — calibration year ×
+// network impairment × retry policy × worker count — into cells, runs every
+// cell over a bounded worker pool, and prints a comparison matrix against
+// the loss-free baseline cell of each year. Cells are bit-identical to the
+// same campaign run standalone through orsurvey, the matrix is byte-stable
+// across pool sizes, and completed cells persist as JSON artifacts so an
+// interrupted sweep resumes with -resume instead of re-running.
+//
+// Usage:
+//
+//	orsweep [-spec file] [-year Y]... [-loss SPEC]... [-retry POLICY]...
+//	        [-cell-workers N]... [-mode sim|synth] [-shift N] [-seed N]
+//	        [-pps N] [-max-events N] [-workers N] [-out dir] [-resume]
+//	        [-json file] [-diff] [-metrics-addr host:port] [-progress interval]
+//
+// Axis flags repeat (every combination becomes one cell) and override the
+// same axis in -spec; scalar flags override the spec file's scalars.
+//
+// Examples:
+//
+//	orsweep -shift 14 -year 2018 -year 2013 -loss none -loss "ge:0.05,0.2,0.125,1" -retry 0 -retry 5+adaptive
+//	    # 2×2×2 robustness grid, matrix on stdout
+//	orsweep -spec grid.sweep -out runs/ -json matrix.json
+//	orsweep -spec grid.sweep -out runs/ -resume   # finish an interrupted sweep
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"openresolver/internal/obs"
+	"openresolver/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "orsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// metricsUp is called with the bound metrics address after the sweep's
+// output is complete but before the server shuts down. Tests hook it to
+// scrape the endpoints with the full run's data in place.
+var metricsUp = func(addr string) {}
+
+// multiFlag collects a repeatable string flag in order of appearance.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("orsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var years, losses, retries, cellWorkers multiFlag
+	fs.Var(&years, "year", "year axis value (repeatable): 2013, 2018, or fractional like 2015.5")
+	fs.Var(&losses, "loss", `impairment axis value (repeatable): "none" or a netsim spec like "ge:0.05,0.2,0.125,1"`)
+	fs.Var(&retries, "retry", `retry axis value (repeatable): "<budget>[+adaptive][+backoff]", e.g. 0 or 5+adaptive`)
+	fs.Var(&cellWorkers, "cell-workers", "worker-count axis value (repeatable; scales synth cells)")
+	specPath := fs.String("spec", "", "read the grid from this spec file (axis flags override its axes)")
+	mode := fs.String("mode", "", "campaign engine: sim (default) or synth")
+	shift := fs.Uint("shift", 0, "sample shift: scale every cell to 1/2^shift (default 14)")
+	seed := fs.Int64("seed", 0, "deterministic seed shared by every cell (default 1)")
+	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
+	maxEvents := fs.Int("max-events", 0, "per-cell event queue bound (sim; default 2^21)")
+	poolWorkers := fs.Int("workers", 0, "cells running concurrently (0 = all cores)")
+	outDir := fs.String("out", "", "write one JSON artifact per completed cell into this directory")
+	resume := fs.Bool("resume", false, "skip cells whose completed artifact already exists in -out")
+	jsonPath := fs.String("json", "", `write the matrix as JSON to this file ("-" = stdout)`)
+	diff := fs.Bool("diff", false, "print the full per-cell delta tables after the matrix")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON or OpenMetrics via Accept), /debug/vars, /debug/pprof on this address")
+	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *resume && *outDir == "" {
+		return errors.New("-resume needs -out (artifacts live there)")
+	}
+
+	spec := &sweep.Spec{}
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		parsed, perr := sweep.ParseSpecFile(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		spec = parsed
+	}
+	if len(years) > 0 {
+		spec.Years = nil
+		for _, v := range years {
+			y, err := sweep.ParseYear(v)
+			if err != nil {
+				return err
+			}
+			spec.Years = append(spec.Years, y)
+		}
+	}
+	if len(losses) > 0 {
+		spec.Loss = nil
+		for _, v := range losses {
+			l, err := sweep.ParseLoss(v)
+			if err != nil {
+				return err
+			}
+			spec.Loss = append(spec.Loss, l)
+		}
+	}
+	if len(retries) > 0 {
+		spec.Retry = nil
+		for _, v := range retries {
+			p, err := sweep.ParseRetryPolicy(v)
+			if err != nil {
+				return err
+			}
+			spec.Retry = append(spec.Retry, p)
+		}
+	}
+	if len(cellWorkers) > 0 {
+		spec.Workers = nil
+		for _, v := range cellWorkers {
+			w, err := strconv.Atoi(v)
+			if err != nil || w < 0 {
+				return fmt.Errorf("-cell-workers %q: want a non-negative integer", v)
+			}
+			spec.Workers = append(spec.Workers, w)
+		}
+	}
+	// Scalar flags override the spec file only when set on the command line,
+	// so "orsweep -spec grid.sweep" honors the file's shift/seed while
+	// "orsweep -spec grid.sweep -shift 16" pins a quick rescale.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "mode":
+			spec.Mode = *mode
+		case "shift":
+			spec.Shift = uint8(*shift)
+		case "seed":
+			spec.Seed = *seed
+		case "pps":
+			spec.PPS = *pps
+		case "max-events":
+			spec.MaxEvents = *maxEvents
+		}
+	})
+
+	cells, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" || *progress > 0 {
+		reg = obs.NewRegistry()
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		if srv, err = obs.Serve(*metricsAddr, reg); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "orsweep: metrics on http://%s/metrics (JSON; OpenMetrics via Accept)\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stop := reg.StartProgress(stderr, *progress)
+		defer stop()
+	}
+
+	fmt.Fprintf(stderr, "orsweep: %d cells (mode=%s shift=%d seed=%d), pool=%d\n",
+		len(cells), spec.Mode, spec.Shift, spec.Seed, poolSize(*poolWorkers))
+	wallStart := time.Now()
+	results, err := sweep.Run(sweep.RunConfig{
+		Spec:        spec,
+		PoolWorkers: *poolWorkers,
+		ArtifactDir: *outDir,
+		Resume:      *resume,
+		Obs:         reg,
+		Log:         stderr,
+	})
+	if err != nil {
+		return err
+	}
+	// Wall-clock lives on stderr only: the stdout matrix and the JSON stay
+	// byte-identical across pool sizes and cold-vs-resumed runs.
+	fmt.Fprintf(stderr, "orsweep: sweep finished in %v\n", time.Since(wallStart).Round(time.Millisecond))
+
+	m := sweep.BuildMatrix(spec, results)
+	if err := m.RenderText(stdout); err != nil {
+		return err
+	}
+	if *diff {
+		if err := m.RenderDeltas(stdout); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		data, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		if *jsonPath == "-" {
+			if _, err := stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "orsweep: matrix JSON written to %s\n", *jsonPath)
+		}
+	}
+	if srv != nil {
+		metricsUp(srv.Addr)
+	}
+	return nil
+}
+
+// poolSize mirrors RunConfig's 0-means-all-cores default for the banner.
+func poolSize(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"openresolver/internal/paperdata"
+)
+
+// Report-vs-report diffing: where compare.go measures one report against
+// the paper's printed values, this file measures two regenerated reports
+// against each other — the primitive behind the sweep runner's comparison
+// matrix (every cell is diffed against the loss-free baseline cell of its
+// year). The delta list is emitted in a fixed metric order, so rendering
+// it is deterministic for any pair of reports.
+
+// ReportDelta is one metric that differs between two reports.
+type ReportDelta struct {
+	Table  string `json:"table"`
+	Metric string `json:"metric"`
+	Base   string `json:"base"`
+	Other  string `json:"other"`
+}
+
+// reportDiffer accumulates deltas, appending only on inequality.
+type reportDiffer struct {
+	out []ReportDelta
+}
+
+func (rd *reportDiffer) u(table, metric string, base, other uint64) {
+	if base != other {
+		rd.out = append(rd.out, ReportDelta{table, metric, commas(base), commas(other)})
+	}
+}
+
+func (rd *reportDiffer) s(table, metric, base, other string) {
+	if base != other {
+		rd.out = append(rd.out, ReportDelta{table, metric, base, other})
+	}
+}
+
+func (rd *reportDiffer) flagTable(table string, base, other paperdata.FlagTable) {
+	for i, rows := range []struct {
+		name string
+		b, o paperdata.FlagRow
+	}{
+		{"0", base.Flag0, other.Flag0},
+		{"1", base.Flag1, other.Flag1},
+	} {
+		_ = i
+		rd.u(table, rows.name+" W/O", rows.b.Without, rows.o.Without)
+		rd.u(table, rows.name+" W_corr", rows.b.Correct, rows.o.Correct)
+		rd.u(table, rows.name+" W_incorr", rows.b.Incorr, rows.o.Incorr)
+	}
+}
+
+// DiffReports returns every metric on which other differs from base, in a
+// fixed table-by-table order (campaign counts, correctness, RA/AA flags,
+// rcodes, incorrect-answer forms, top-10 answers, malicious categories and
+// geolocation, empty-question stats, open-resolver estimates). Two
+// identical reports yield an empty list. Either argument may be nil, in
+// which case the single delta "report/present" marks the asymmetry.
+func DiffReports(base, other *Report) []ReportDelta {
+	if base == nil || other == nil {
+		if base == other {
+			return nil
+		}
+		present := func(r *Report) string {
+			if r == nil {
+				return "absent"
+			}
+			return "present"
+		}
+		return []ReportDelta{{"report", "present", present(base), present(other)}}
+	}
+	rd := &reportDiffer{}
+
+	rd.s("campaign", "year", fmt.Sprintf("%d", base.Year), fmt.Sprintf("%d", other.Year))
+	rd.u("campaign", "Q1", base.Campaign.Q1, other.Campaign.Q1)
+	rd.u("campaign", "Q2", base.Campaign.Q2, other.Campaign.Q2)
+	rd.u("campaign", "R1", base.Campaign.R1, other.Campaign.R1)
+	rd.u("campaign", "R2", base.Campaign.R2, other.Campaign.R2)
+	rd.s("campaign", "duration", base.Campaign.Duration.String(), other.Campaign.Duration.String())
+
+	rd.u("correctness", "R2 analyzed", base.Correctness.R2, other.Correctness.R2)
+	rd.u("correctness", "W/O", base.Correctness.Without, other.Correctness.Without)
+	rd.u("correctness", "W_corr", base.Correctness.Correct, other.Correctness.Correct)
+	rd.u("correctness", "W_incorr", base.Correctness.Incorr, other.Correctness.Incorr)
+
+	rd.flagTable("RA", base.RA, other.RA)
+	rd.flagTable("AA", base.AA, other.AA)
+
+	for code := 0; code < len(base.Rcode.With) && code < len(paperdata.RcodeNames); code++ {
+		name := paperdata.RcodeNames[code]
+		rd.u("rcode", "W "+name, base.Rcode.With[code], other.Rcode.With[code])
+		rd.u("rcode", "W/O "+name, base.Rcode.Without[code], other.Rcode.Without[code])
+	}
+
+	for _, rows := range []struct {
+		name string
+		b, o paperdata.FormCount
+	}{
+		{"IP", base.Forms.IP, other.Forms.IP},
+		{"URL", base.Forms.URL, other.Forms.URL},
+		{"string", base.Forms.Str, other.Forms.Str},
+		{"N/A", base.Forms.NA, other.Forms.NA},
+	} {
+		rd.u("forms", rows.name+" packets", rows.b.Packets, rows.o.Packets)
+		rd.u("forms", rows.name+" unique", rows.b.Unique, rows.o.Unique)
+	}
+
+	n := len(base.Top10)
+	if len(other.Top10) > n {
+		n = len(other.Top10)
+	}
+	for i := 0; i < n; i++ {
+		var b, o paperdata.TopAnswer
+		if i < len(base.Top10) {
+			b = base.Top10[i]
+		}
+		if i < len(other.Top10) {
+			o = other.Top10[i]
+		}
+		rd.s("top10", fmt.Sprintf("rank %d", i+1),
+			fmt.Sprintf("%s ×%s", b.Addr, commas(b.Count)),
+			fmt.Sprintf("%s ×%s", o.Addr, commas(o.Count)))
+	}
+
+	for _, cat := range paperdata.MalCategories {
+		rd.u("malicious", string(cat)+" unique IPs", base.Malicious[cat].IPs, other.Malicious[cat].IPs)
+		rd.u("malicious", string(cat)+" R2", base.Malicious[cat].R2, other.Malicious[cat].R2)
+	}
+	rd.u("malicious", "total unique IPs", base.MaliciousTotal.IPs, other.MaliciousTotal.IPs)
+	rd.u("malicious", "total R2", base.MaliciousTotal.R2, other.MaliciousTotal.R2)
+	rd.u("malicious", "RA0", base.MalFlags.RA0, other.MalFlags.RA0)
+	rd.u("malicious", "RA1", base.MalFlags.RA1, other.MalFlags.RA1)
+	rd.u("malicious", "AA0", base.MalFlags.AA0, other.MalFlags.AA0)
+	rd.u("malicious", "AA1", base.MalFlags.AA1, other.MalFlags.AA1)
+	rd.u("malicious", "nonzero rcode", base.MalNonZeroRcode, other.MalNonZeroRcode)
+
+	geo := func(r *Report) map[string]uint64 {
+		m := make(map[string]uint64, len(r.MaliciousGeo))
+		for _, g := range r.MaliciousGeo {
+			m[g.Country] = g.R2
+		}
+		return m
+	}
+	bg, og := geo(base), geo(other)
+	rd.u("geo", "countries", uint64(len(base.MaliciousGeo)), uint64(len(other.MaliciousGeo)))
+	// Walk base's country order first, then other's novelties in its order:
+	// deterministic without sorting, since both lists are themselves
+	// deterministically ordered report fields.
+	for _, g := range base.MaliciousGeo {
+		rd.u("geo", g.Country, g.R2, og[g.Country])
+	}
+	for _, g := range other.MaliciousGeo {
+		if _, seen := bg[g.Country]; !seen {
+			rd.u("geo", g.Country, 0, g.R2)
+		}
+	}
+
+	rd.u("empty-question", "total", base.EmptyQ.Total, other.EmptyQ.Total)
+	rd.u("empty-question", "with answer", base.EmptyQ.WithAnswer, other.EmptyQ.WithAnswer)
+	rd.u("empty-question", "RA0", base.EmptyQ.RA0, other.EmptyQ.RA0)
+	rd.u("empty-question", "RA1", base.EmptyQ.RA1, other.EmptyQ.RA1)
+	rd.u("empty-question", "AA1", base.EmptyQ.AA1, other.EmptyQ.AA1)
+
+	rd.u("estimates", "strict (RA=1 & correct)", base.Estimates.StrictRA1Correct, other.Estimates.StrictRA1Correct)
+	rd.u("estimates", "RA=1", base.Estimates.RAOnly, other.Estimates.RAOnly)
+	rd.u("estimates", "correct answer", base.Estimates.CorrectOnly, other.Estimates.CorrectOnly)
+
+	rd.u("undecodable", "packets", base.Undecodable, other.Undecodable)
+	return rd.out
+}
+
+// RenderReportDeltas formats a delta list as an aligned text table; an
+// empty list renders as a single "identical" line.
+func RenderReportDeltas(deltas []ReportDelta) string {
+	if len(deltas) == 0 {
+		return "reports identical\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-26s %16s %16s\n", "table", "metric", "base", "cell")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "%-16s %-26s %16s %16s\n", d.Table, d.Metric, d.Base, d.Other)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"openresolver/internal/paperdata"
+)
+
+func TestDiffReportsIdentical(t *testing.T) {
+	r := paperPerfectReport(paperdata.Y2018)
+	if deltas := DiffReports(r, r); len(deltas) != 0 {
+		t.Errorf("self-diff produced %d deltas: %+v", len(deltas), deltas)
+	}
+	if got := RenderReportDeltas(nil); !strings.Contains(got, "identical") {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestDiffReportsFindsEveryPerturbation(t *testing.T) {
+	base := paperPerfectReport(paperdata.Y2018)
+	other := paperPerfectReport(paperdata.Y2018)
+	other.Campaign.R2 += 7
+	other.Correctness.Incorr += 1
+	other.RA.Flag1.Correct -= 2
+	other.Rcode.With[3] += 9
+	other.MaliciousTotal.R2 += 4
+	other.Estimates.RAOnly -= 1
+
+	deltas := DiffReports(base, other)
+	want := map[string]bool{
+		"campaign/R2":                        false,
+		"correctness/W_incorr":               false,
+		"RA/1 W_corr":                        false,
+		"rcode/W " + paperdata.RcodeNames[3]: false,
+		"malicious/total R2":                 false,
+		"estimates/RA=1":                     false,
+	}
+	for _, d := range deltas {
+		key := d.Table + "/" + d.Metric
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("perturbation %s not reported in %+v", key, deltas)
+		}
+	}
+	if len(deltas) != len(want) {
+		t.Errorf("want exactly %d deltas, got %d: %+v", len(want), len(deltas), deltas)
+	}
+
+	// Deterministic: repeat diffs are byte-identical when rendered.
+	again := DiffReports(base, other)
+	if !reflect.DeepEqual(deltas, again) {
+		t.Error("repeated diff produced a different delta list")
+	}
+	if RenderReportDeltas(deltas) != RenderReportDeltas(again) {
+		t.Error("repeated render differed")
+	}
+}
+
+func TestDiffReportsGeoAsymmetry(t *testing.T) {
+	base := paperPerfectReport(paperdata.Y2018)
+	other := paperPerfectReport(paperdata.Y2018)
+	other.MaliciousGeo = append(other.MaliciousGeo, paperdata.GeoCount{Country: "ZZ", R2: 3})
+
+	var sawCount, sawZZ bool
+	for _, d := range DiffReports(base, other) {
+		if d.Table == "geo" && d.Metric == "countries" {
+			sawCount = true
+		}
+		if d.Table == "geo" && d.Metric == "ZZ" && d.Other == "3" {
+			sawZZ = true
+		}
+	}
+	if !sawCount || !sawZZ {
+		t.Errorf("geo asymmetry not reported: count=%v zz=%v", sawCount, sawZZ)
+	}
+}
+
+func TestDiffReportsNil(t *testing.T) {
+	r := paperPerfectReport(paperdata.Y2013)
+	if deltas := DiffReports(nil, nil); deltas != nil {
+		t.Errorf("nil-nil diff = %+v", deltas)
+	}
+	deltas := DiffReports(r, nil)
+	if len(deltas) != 1 || deltas[0].Metric != "present" {
+		t.Errorf("report-nil diff = %+v", deltas)
+	}
+}

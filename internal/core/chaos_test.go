@@ -107,7 +107,7 @@ func TestChaosMatrix(t *testing.T) {
 			if !sc.fired(ds.FaultStats) {
 				t.Errorf("impairment never fired: %+v", ds.FaultStats)
 			}
-			if again := run(); simulationDigest(again) != simulationDigest(ds) {
+			if again := run(); SimulationDigest(again) != SimulationDigest(ds) {
 				t.Error("repeat run with identical (config, seed) diverged")
 			}
 		})

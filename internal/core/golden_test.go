@@ -1,9 +1,6 @@
 package core
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
 	"os"
 	"testing"
@@ -30,50 +27,17 @@ var simulationGoldens = map[string]string{
 	"2018/seed7": "fbe11384d146735785001433af916baeba3586f7445e006b7ebda78372063c50",
 }
 
-// simulationDigest hashes everything RunSimulation promises to keep stable:
-// the rendered report tables, the packet counters, the subdomain-pool
-// accounting, and the raw R2 stream in arrival order.
-func simulationDigest(ds *Dataset) string {
-	h := sha256.New()
-	r := ds.Report
-	for _, tbl := range []string{
-		r.RenderTableII(), r.RenderTableIII(), r.RenderTableIV(),
-		r.RenderTableV(), r.RenderTableVI(), r.RenderTableVII(),
-		r.RenderTableVIII(), r.RenderTableIX(), r.RenderTableX(),
-		r.RenderGeo(),
-	} {
-		h.Write([]byte(tbl))
-	}
-	fmt.Fprintf(h, "stats=%+v clusters=%d reused=%d\n",
-		ds.NetStats, ds.ClustersUsed, ds.SubdomainsReused)
-	var num [8]byte
-	for _, p := range ds.R2Packets {
-		binary.BigEndian.PutUint64(num[:], uint64(p.At))
-		h.Write(num[:])
-		binary.BigEndian.PutUint32(num[:4], uint32(p.Src))
-		h.Write(num[:4])
-		binary.BigEndian.PutUint32(num[:4], uint32(p.Dst))
-		h.Write(num[:4])
-		h.Write(p.Payload)
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
-
 // faultGolden pins one adverse-network campaign bit-for-bit: Gilbert–
 // Elliott burst loss stacked with duplication, reordering and corruption,
 // answered by the full retransmission machinery (prober retries, adaptive
-// RTO, upstream backoff). Everything simulationDigest covers must stay
+// RTO, upstream backoff). Everything SimulationDigest covers must stay
 // stable, and so must the fault pipeline's intervention counters and the
-// prober's retransmission counters — the digest extends over both. Re-derive
-// with GOLDEN_PRINT=1 (see above) if a change legitimately alters it.
+// prober's retransmission counters — FaultDigest extends over both.
+// Re-derive with GOLDEN_PRINT=1 (see above) if a change legitimately
+// alters it. The sweep runner's golden test (internal/sweep) pins the same
+// constant against a sweep cell configured identically — update both
+// together.
 const faultGolden = "14ed63b6c82d0436126bdc5ae3b549917ab5d9eb794bd455ac21ff311b510553"
-
-func faultDigest(ds *Dataset) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "base=%s faults=%+v probe=%+v\n",
-		simulationDigest(ds), ds.FaultStats, ds.ProbeStats)
-	return hex.EncodeToString(h.Sum(nil))
-}
 
 func TestFaultGolden(t *testing.T) {
 	imps, err := netsim.ParseImpairments("ge:0.02,0.3,0.05,0.9;dup:0.05;reorder:0.1,30ms;corrupt:0.02")
@@ -93,7 +57,7 @@ func TestFaultGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := faultDigest(ds)
+	got := FaultDigest(ds)
 	if os.Getenv("GOLDEN_PRINT") != "" {
 		t.Logf("fault golden: %s", got)
 		return
@@ -114,7 +78,7 @@ func TestSimulationGolden(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got := simulationDigest(ds)
+				got := SimulationDigest(ds)
 				if os.Getenv("GOLDEN_PRINT") != "" {
 					t.Logf("golden %q: %s", key, got)
 					return

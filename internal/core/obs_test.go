@@ -26,7 +26,7 @@ func TestSimulationGoldenWithMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := simulationDigest(ds)
+	got := SimulationDigest(ds)
 	want := simulationGoldens["2018/seed1"]
 	if got != want {
 		t.Errorf("metrics-enabled simulation diverged from the golden\n got %s\nwant %s", got, want)
@@ -95,7 +95,7 @@ func TestFaultGoldenWithMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := faultDigest(ds); got != faultGolden {
+	if got := FaultDigest(ds); got != faultGolden {
 		t.Errorf("metrics-enabled fault campaign diverged\n got %s\nwant %s", got, faultGolden)
 	}
 	m := reg.Merged()

@@ -64,26 +64,31 @@ type Point struct {
 	Report *analysis.Report
 }
 
-// Trend runs the monitoring campaigns and returns one point per epoch.
-func Trend(cfg Config) ([]Point, error) {
-	if cfg.Epochs < 2 {
-		return nil, fmt.Errorf("drift: need at least 2 epochs")
-	}
-	switch cfg.Mode {
-	case "", "synth", "sim":
-	default:
-		return nil, fmt.Errorf("drift: unknown mode %q (want synth or sim)", cfg.Mode)
-	}
-	feed13 := threatintel.NewFeed(paperdata.Y2013, cfg.Seed)
-	feed18 := threatintel.NewFeed(paperdata.Y2018, cfg.Seed)
+// Interpolator models the ecosystem between the paper's two snapshots: it
+// holds the calibrated 2013 and 2018 populations (built once) and mixes
+// them linearly at any weight, together with the merged threat feed the
+// analyzer needs to recognize malicious addresses from either snapshot.
+// Both the epoch loop of Trend and the sweep runner's fractional year axis
+// (cmd/orsweep, e.g. "2015.5") interpolate through it, so the two paths
+// cannot diverge on what an intermediate year means.
+type Interpolator struct {
+	pop13, pop18 *population.Population
+	merged       *threatintel.DB
+}
+
+// NewInterpolator builds the two endpoint populations and the merged
+// threat database at the given scale and seed.
+func NewInterpolator(shift uint8, seed int64) (*Interpolator, error) {
+	feed13 := threatintel.NewFeed(paperdata.Y2013, seed)
+	feed18 := threatintel.NewFeed(paperdata.Y2018, seed)
 	pop13, err := population.Build(population.Config{
-		Year: paperdata.Y2013, SampleShift: cfg.SampleShift, Seed: cfg.Seed, Feed: feed13,
+		Year: paperdata.Y2013, SampleShift: shift, Seed: seed, Feed: feed13,
 	})
 	if err != nil {
 		return nil, err
 	}
 	pop18, err := population.Build(population.Config{
-		Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed, Feed: feed18,
+		Year: paperdata.Y2018, SampleShift: shift, Seed: seed, Feed: feed18,
 	})
 	if err != nil {
 		return nil, err
@@ -96,11 +101,45 @@ func Trend(cfg Config) ([]Point, error) {
 			merged.Add(addr, rec.Reports...)
 		}
 	}
+	return &Interpolator{pop13: pop13, pop18: pop18, merged: merged}, nil
+}
+
+// At mixes the endpoint populations at weight w ∈ [0, 1] (the 2018 share).
+func (ip *Interpolator) At(w float64) (*population.Population, error) {
+	if w < 0 || w > 1 {
+		return nil, fmt.Errorf("drift: interpolation weight %v outside [0, 1]", w)
+	}
+	return population.Mix(ip.pop13, ip.pop18, w)
+}
+
+// Threat returns the merged 2013+2018 threat database every interpolated
+// campaign must analyze against.
+func (ip *Interpolator) Threat() *threatintel.DB { return ip.merged }
+
+// Label renders weight w as the interpolated calendar position between the
+// snapshots, e.g. 0 → "2013.0", 0.5 → "2015.5".
+func Label(w float64) string { return fmt.Sprintf("%.1f", 2013+5*w) }
+
+// Trend runs the monitoring campaigns and returns one point per epoch.
+func Trend(cfg Config) ([]Point, error) {
+	if cfg.Epochs < 2 {
+		return nil, fmt.Errorf("drift: need at least 2 epochs")
+	}
+	switch cfg.Mode {
+	case "", "synth", "sim":
+	default:
+		return nil, fmt.Errorf("drift: unknown mode %q (want synth or sim)", cfg.Mode)
+	}
+	interp, err := NewInterpolator(cfg.SampleShift, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	merged := interp.Threat()
 
 	points := make([]Point, 0, cfg.Epochs)
 	for i := 0; i < cfg.Epochs; i++ {
 		w := float64(i) / float64(cfg.Epochs-1)
-		mixed, err := population.Mix(pop13, pop18, w)
+		mixed, err := interp.At(w)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +147,7 @@ func Trend(cfg Config) ([]Point, error) {
 			Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed + int64(i),
 			Workers: cfg.Workers, Faults: cfg.Faults, Obs: cfg.Obs,
 		}
-		label := fmt.Sprintf("%.1f", 2013+5*w)
+		label := Label(w)
 		sp := cfg.Obs.Tracer().Begin("epoch " + label)
 		var ds *core.Dataset
 		if cfg.Mode == "sim" {

@@ -113,3 +113,40 @@ func TestTrendSimModeWithFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestInterpolator pins the exported interpolation surface the sweep
+// runner's fractional year axis builds on: endpoint weights reproduce the
+// pure populations, labels render the calendar position, out-of-range
+// weights are rejected, and the merged threat DB covers both feeds.
+func TestInterpolator(t *testing.T) {
+	interp, err := NewInterpolator(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		w     float64
+		label string
+	}{
+		{0, "2013.0"}, {0.5, "2015.5"}, {1, "2018.0"},
+	} {
+		if got := Label(tc.w); got != tc.label {
+			t.Errorf("Label(%v) = %q, want %q", tc.w, got, tc.label)
+		}
+		pop, err := interp.At(tc.w)
+		if err != nil {
+			t.Fatalf("At(%v): %v", tc.w, err)
+		}
+		if pop.ExpectedR2 == 0 {
+			t.Errorf("At(%v): empty population", tc.w)
+		}
+	}
+	if _, err := interp.At(1.5); err == nil {
+		t.Error("weight 1.5 accepted")
+	}
+	if _, err := interp.At(-0.1); err == nil {
+		t.Error("weight -0.1 accepted")
+	}
+	if interp.Threat() == nil || len(interp.Threat().Addrs()) == 0 {
+		t.Error("merged threat DB empty")
+	}
+}

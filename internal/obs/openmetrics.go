@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OpenMetrics / Prometheus text exposition (stdlib-only), so a Prometheus
+// server can scrape -metrics-addr directly instead of going through the
+// JSON snapshot. The format is the classic text exposition
+// ("text/plain; version=0.0.4"): counters gain the conventional _total
+// suffix, histograms emit cumulative le-labelled buckets, and a few
+// runtime gauges ride along. Output order is fixed (counter and histogram
+// enum order), so two snapshots with equal values expose equal bytes.
+
+// OpenMetricsContentType is the Content-Type of the text exposition.
+const OpenMetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName converts a dotted metric name to the Prometheus namespace, e.g.
+// "probe.rtt_nanos" → "openresolver_probe_rtt_nanos".
+func promName(dotted string) string {
+	return "openresolver_" + strings.ReplaceAll(dotted, ".", "_")
+}
+
+// WriteOpenMetrics renders the snapshot in the Prometheus text exposition
+// format. Zero-valued counters are exposed (a scraper should see the full
+// fixed metric set from the first sample), and every histogram closes with
+// the mandatory +Inf bucket, _sum and _count series.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	for c := Counter(0); c < NumCounters; c++ {
+		name := promName(CounterName(c)) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			name, name, s.Counters[CounterName(c)]); err != nil {
+			return err
+		}
+	}
+	for hi := Hist(0); hi < NumHists; hi++ {
+		name := promName(HistName(hi))
+		hs := s.Histograms[HistName(hi)]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		// Buckets list only occupied ranges; the exposition needs cumulative
+		// counts. All observations are integers in [lo, hi), so the largest
+		// value a bucket can hold is hi-1 — emitting le="hi-1" makes every
+		// cumulative count exact rather than off-by-one at bucket boundaries.
+		var cum uint64
+		for _, b := range hs.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Hi-1, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, hs.Count, name, hs.Sum, name, hs.Count); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name string
+		val  float64
+	}{
+		{"openresolver_uptime_seconds", s.UptimeSeconds},
+		{"openresolver_runtime_heap_bytes", float64(s.Runtime.HeapBytes)},
+		{"openresolver_runtime_goroutines", float64(s.Runtime.Goroutines)},
+		{"openresolver_runtime_gc_cycles", float64(s.Runtime.GCCycles)},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wantsOpenMetrics reports whether an Accept header asks for the text
+// exposition. Prometheus sends "application/openmetrics-text" and/or
+// "text/plain;version=0.0.4" with q-values; plain curl and the JSON
+// consumers send nothing, "*/*" or "application/json" and keep getting the
+// JSON snapshot, so adding the negotiation breaks no existing scraper.
+func wantsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetrics checks the text exposition directly: every counter
+// appears as a _total series, histograms carry exact cumulative buckets
+// closed by +Inf/_sum/_count, and the byte stream is deterministic for a
+// fixed snapshot.
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	sh := r.NewShard("sim")
+	sh.Add(CProbeSent, 41)
+	sh.Inc(CProbeSent)
+	sh.Observe(HRTT, 0) // bucket 0: le="0"
+	sh.Observe(HRTT, 1) // bucket 1: le="1"
+	sh.Observe(HRTT, 3) // bucket 2: le="3"
+	sh.Observe(HRTT, 3)
+
+	snap := r.Snapshot()
+	var buf strings.Builder
+	if err := snap.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	if !strings.Contains(text, "# TYPE openresolver_probe_sent_total counter\nopenresolver_probe_sent_total 42\n") {
+		t.Errorf("probe.sent counter missing or wrong:\n%s", text)
+	}
+	// Every counter in the enum must be exposed, zero or not.
+	for c := Counter(0); c < NumCounters; c++ {
+		if !strings.Contains(text, promName(CounterName(c))+"_total ") {
+			t.Errorf("counter %s missing from exposition", CounterName(c))
+		}
+	}
+	for _, line := range []string{
+		`openresolver_probe_rtt_nanos_bucket{le="0"} 1`,
+		`openresolver_probe_rtt_nanos_bucket{le="1"} 2`,
+		`openresolver_probe_rtt_nanos_bucket{le="3"} 4`,
+		`openresolver_probe_rtt_nanos_bucket{le="+Inf"} 4`,
+		`openresolver_probe_rtt_nanos_sum 7`,
+		`openresolver_probe_rtt_nanos_count 4`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, text)
+		}
+	}
+
+	// Cumulative bucket counts must be monotone non-decreasing per series.
+	last := map[string]uint64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "_bucket{le=\"")
+		if i < 0 || strings.Contains(line, "+Inf") {
+			continue
+		}
+		series := line[:i]
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if n < last[series] {
+			t.Errorf("bucket counts not cumulative in %q", line)
+		}
+		last[series] = n
+	}
+
+	// Determinism: a second write of the same snapshot is byte-identical.
+	var again strings.Builder
+	if err := snap.WriteOpenMetrics(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("two writes of one snapshot differ")
+	}
+}
+
+// TestMetricsContentNegotiation drives /metrics through the server with
+// both faces of the Accept header: Prometheus-style accepts get the
+// version=0.0.4 text exposition, everything else keeps the JSON snapshot.
+func TestMetricsContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.NewShard("sim").Add(CSimDelivered, 9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", fmt.Sprintf("http://%s/metrics", srv.Addr), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// No Accept header (and JSON accepts): the original JSON contract.
+	for _, accept := range []string{"", "*/*", "application/json"} {
+		body, ctype := get(accept)
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Errorf("Accept %q: not snapshot JSON: %v", accept, err)
+		}
+		if ctype != "application/json" {
+			t.Errorf("Accept %q: Content-Type = %q", accept, ctype)
+		}
+	}
+
+	// Prometheus-style accepts: the text exposition.
+	promAccept := "application/openmetrics-text;version=1.0.0;q=0.75," +
+		"text/plain;version=0.0.4;q=0.5,*/*;q=0.1"
+	for _, accept := range []string{promAccept, "text/plain"} {
+		body, ctype := get(accept)
+		if ctype != OpenMetricsContentType {
+			t.Errorf("Accept %q: Content-Type = %q, want %q", accept, ctype, OpenMetricsContentType)
+		}
+		if !strings.Contains(body, "openresolver_sim_delivered_total 9\n") {
+			t.Errorf("Accept %q: exposition missing counter:\n%s", accept, body)
+		}
+		if strings.Contains(body, "{") && !strings.Contains(body, `le="`) {
+			t.Errorf("Accept %q: looks like JSON, not exposition", accept)
+		}
+	}
+}

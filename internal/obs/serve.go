@@ -30,7 +30,17 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	}
 	r.Publish("openresolver")
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		// Content negotiation: Prometheus (Accept: openmetrics-text or
+		// text/plain) gets the text exposition; everything else keeps the
+		// JSON snapshot, which was the endpoint's original contract.
+		if wantsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			if err := r.Snapshot().WriteOpenMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		data, err := r.Snapshot().JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"openresolver/internal/analysis"
+)
+
+// Matrix is the sweep's comparison surface: one row per cell in expansion
+// order, each diffed against the loss-free baseline cell of its year. It
+// deliberately carries no wall-clock or resume state — the matrix (text and
+// JSON alike) must be byte-identical across pool sizes and across cold vs
+// resumed runs.
+type Matrix struct {
+	Mode  string       `json:"mode"`
+	Shift uint8        `json:"shift"`
+	Seed  int64        `json:"seed"`
+	Cells []MatrixCell `json:"cells"`
+}
+
+// MatrixCell is one rendered row plus the full delta list backing it.
+type MatrixCell struct {
+	Index   int    `json:"index"`
+	Year    string `json:"year"`
+	Loss    string `json:"loss"`
+	Retry   string `json:"retry"`
+	Workers int    `json:"workers"`
+	// Baseline marks the loss-free reference cell of this row's year; rows
+	// are diffed against it and it is its own (empty) diff.
+	Baseline bool `json:"baseline"`
+	// Digest is the cell's FaultDigest — comparable bit-for-bit with a
+	// standalone campaign of the same configuration.
+	Digest string `json:"digest"`
+
+	Q1 uint64 `json:"q1"`
+	R2 uint64 `json:"r2"`
+	// RecoveryPct is the response-recovery rate: answered probes over sent
+	// probes (simulation), or R2 over Q1 (synthesis, which has no prober
+	// loop to lose anything).
+	RecoveryPct float64 `json:"recovery_pct"`
+
+	Retransmits uint64 `json:"retransmits"`
+	GaveUp      uint64 `json:"gave_up"`
+	FaultDrops  uint64 `json:"fault_drops"`
+	Duplicated  uint64 `json:"duplicated"`
+	Corrupted   uint64 `json:"corrupted"`
+	Reordered   uint64 `json:"reordered"`
+	// VirtualNanos is the discrete-event clock at quiesce (0 for synth).
+	VirtualNanos uint64 `json:"virtual_nanos"`
+
+	// Deltas lists every report metric on which this cell differs from its
+	// baseline; DeltasVsBase is its length, printed in the text matrix.
+	Deltas       []analysis.ReportDelta `json:"deltas_vs_base,omitempty"`
+	DeltasVsBase int                    `json:"delta_count"`
+}
+
+// BuildMatrix assembles the comparison matrix from a completed run. The
+// baseline of each year is that year's first pristine-loss cell in
+// expansion order; a year with no pristine cell has no baseline and its
+// rows carry a single "no baseline" marker delta against nil.
+func BuildMatrix(spec *Spec, results []Result) *Matrix {
+	m := &Matrix{Mode: spec.Mode, Shift: spec.Shift, Seed: spec.Seed}
+	base := make(map[string]*Result)
+	for i := range results {
+		r := &results[i]
+		if r.Cell.Loss.Pristine() && base[r.Cell.Year.Label] == nil {
+			base[r.Cell.Year.Label] = r
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		b := base[r.Cell.Year.Label]
+		mc := MatrixCell{
+			Index:   r.Cell.Index,
+			Year:    r.Cell.Year.Label,
+			Loss:    r.Cell.Loss.Label,
+			Retry:   r.Cell.Retry.Label(),
+			Workers: r.Cell.Workers,
+			Digest:  r.Digest,
+
+			Q1:          r.Report.Campaign.Q1,
+			R2:          r.Report.Campaign.R2,
+			RecoveryPct: recovery(spec, r),
+
+			Retransmits:  r.ProbeStats.Retransmits,
+			GaveUp:       r.ProbeStats.GaveUp,
+			FaultDrops:   r.FaultStats.Dropped,
+			Duplicated:   r.FaultStats.Duplicated,
+			Corrupted:    r.FaultStats.Corrupted,
+			Reordered:    r.FaultStats.Reordered,
+			VirtualNanos: r.VirtualNanos,
+		}
+		if b == r {
+			mc.Baseline = true
+		} else {
+			var baseRep *analysis.Report
+			if b != nil {
+				baseRep = b.Report
+			}
+			mc.Deltas = analysis.DiffReports(baseRep, r.Report)
+		}
+		mc.DeltasVsBase = len(mc.Deltas)
+		m.Cells = append(m.Cells, mc)
+	}
+	return m
+}
+
+// recovery computes the response-recovery percentage for one cell.
+func recovery(spec *Spec, r *Result) float64 {
+	var num, den uint64
+	if spec.Mode == "sim" {
+		num, den = r.ProbeStats.Answered, r.ProbeStats.Sent
+	} else {
+		num, den = r.Report.Campaign.R2, r.Report.Campaign.Q1
+	}
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// RenderText writes the matrix as an aligned table: the shared scalars, one
+// row per cell with its digest prefix, and a star on each baseline row.
+func (m *Matrix) RenderText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "sweep matrix: mode=%s shift=%d seed=%d cells=%d\n\n",
+		m.Mode, m.Shift, m.Seed, len(m.Cells)); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(m.Cells)+1)
+	rows = append(rows, []string{
+		"idx", "year", "loss", "retry", "wrk", "base",
+		"q1", "r2", "recov%", "retrans", "gaveup", "drops", "dup", "corrupt", "reord", "Δbase", "digest",
+	})
+	for _, c := range m.Cells {
+		star := ""
+		if c.Baseline {
+			star = "*"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.Index), c.Year, c.Loss, c.Retry,
+			fmt.Sprintf("%d", c.Workers), star,
+			fmt.Sprintf("%d", c.Q1), fmt.Sprintf("%d", c.R2),
+			fmt.Sprintf("%.2f", c.RecoveryPct),
+			fmt.Sprintf("%d", c.Retransmits), fmt.Sprintf("%d", c.GaveUp),
+			fmt.Sprintf("%d", c.FaultDrops), fmt.Sprintf("%d", c.Duplicated),
+			fmt.Sprintf("%d", c.Corrupted), fmt.Sprintf("%d", c.Reordered),
+			fmt.Sprintf("%d", c.DeltasVsBase), c.Digest[:12],
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderDeltas writes the full per-cell delta tables (the expansion of the
+// matrix's Δbase column) for every non-baseline cell.
+func (m *Matrix) RenderDeltas(w io.Writer) error {
+	for _, c := range m.Cells {
+		if c.Baseline {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\ncell %d (year=%s loss=%s retry=%s workers=%d) vs baseline:\n%s",
+			c.Index, c.Year, c.Loss, c.Retry, c.Workers,
+			analysis.RenderReportDeltas(c.Deltas)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON renders the matrix as indented, trailing-newline JSON. Two runs of
+// the same grid produce identical bytes.
+func (m *Matrix) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

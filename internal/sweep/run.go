@@ -1,0 +1,340 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/core"
+	"openresolver/internal/drift"
+	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/prober"
+)
+
+// Result is one executed (or resumed) cell: the campaign's report, the
+// counters the matrix prints, and the cell's FaultDigest — the same digest
+// the golden tests pin, so a sweep cell can be cross-checked bit-for-bit
+// against the standalone campaign.
+type Result struct {
+	Cell             Cell
+	Digest           string
+	Report           *analysis.Report
+	NetStats         netsim.Stats
+	FaultStats       netsim.FaultStats
+	ProbeStats       prober.Stats
+	ClustersUsed     int
+	SubdomainsReused uint64
+	// VirtualNanos is the simulator's clock at quiesce (sim cells).
+	VirtualNanos uint64
+	// WallNanos is the cell's wall-clock cost. It is reported on the log
+	// writer only — never in the matrix, which must stay byte-identical
+	// across runs.
+	WallNanos uint64
+	// Resumed marks cells loaded from a completed artifact instead of run.
+	Resumed bool
+}
+
+// RunConfig parameterizes one sweep execution.
+type RunConfig struct {
+	// Spec is the grid to expand and run.
+	Spec *Spec
+	// PoolWorkers bounds how many cells execute concurrently (0 = all
+	// cores). The pool size never affects output: results are collected by
+	// cell index and rendered in expansion order.
+	PoolWorkers int
+	// ArtifactDir, when non-empty, receives one JSON artifact per executed
+	// cell (cell-<slug>.json) and is where Resume looks for completed work.
+	ArtifactDir string
+	// Resume skips cells whose completed artifact already exists in
+	// ArtifactDir, loading their results instead of re-running them.
+	Resume bool
+	// Obs, when non-nil, receives one pre-registered shard per cell (in
+	// cell order, so snapshots are deterministic) plus a span per executed
+	// cell; each cell still runs against its own private registry.
+	Obs *obs.Registry
+	// Log receives progress notes (cell completions, resume skips, wall
+	// clocks). Nil discards them. Nothing written here is part of the
+	// deterministic matrix output.
+	Log io.Writer
+}
+
+func (rc RunConfig) pool() int {
+	if rc.PoolWorkers > 0 {
+		return rc.PoolWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run expands the spec and executes every cell over the bounded pool,
+// returning results in cell order. The result slice is identical for any
+// pool size, and — given the same artifact set — identical between a cold
+// run and a resumed one (the resume and wall-clock fields are excluded
+// from the matrix renderings).
+func Run(rc RunConfig) ([]Result, error) {
+	cells, err := rc.Spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	logw := rc.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+
+	// The interpolator is built once, up front, only when the grid asks
+	// for fractional years — it costs two full population builds.
+	var interp *drift.Interpolator
+	for _, c := range cells {
+		if !c.Year.Pure {
+			if interp, err = drift.NewInterpolator(rc.Spec.Shift, rc.Spec.Seed); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+
+	// Pre-register one observability shard per cell in expansion order, so
+	// the top registry's shard list is deterministic no matter how the
+	// pool schedules the cells.
+	shards := make([]*obs.Shard, len(cells))
+	for i, c := range cells {
+		shards[i] = rc.Obs.NewShard("cell-" + c.Slug())
+	}
+
+	results := make([]Result, len(cells))
+	todo := make([]Cell, 0, len(cells))
+	if rc.Resume && rc.ArtifactDir != "" {
+		for _, c := range cells {
+			if res, ok := loadArtifact(rc.Spec, c, rc.ArtifactDir); ok {
+				res.Resumed = true
+				results[c.Index] = res
+				fmt.Fprintf(logw, "orsweep: cell %d (%s) resumed from artifact\n", c.Index, c.Key())
+				continue
+			}
+			todo = append(todo, c)
+		}
+	} else {
+		todo = cells
+	}
+
+	jobs := make(chan Cell)
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for w := 0; w < rc.pool(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				sp := rc.Obs.Tracer().Begin("cell " + c.Key())
+				res, err := runCell(rc.Spec, c, interp, shards[c.Index])
+				rc.Obs.Tracer().End(sp)
+				if err != nil {
+					errs[c.Index] = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.Key(), err)
+					continue
+				}
+				results[c.Index] = res
+				fmt.Fprintf(logw, "orsweep: cell %d (%s) done in %v\n",
+					c.Index, c.Key(), time.Duration(res.WallNanos).Round(time.Millisecond))
+			}
+		}()
+	}
+	for _, c := range todo {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Persist artifacts in deterministic cell order.
+	for i := range results {
+		res := &results[i]
+		if res.Resumed {
+			continue
+		}
+		if rc.ArtifactDir != "" {
+			if err := writeArtifact(rc.Spec, res, rc.ArtifactDir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// runCell executes one cell against its own private registry, folds the
+// cell's metrics into its pre-registered shard, and returns the matrix row
+// material. Sim cells keep their R2 packets so the digest covers the raw
+// response stream, exactly like the golden tests.
+func runCell(spec *Spec, c Cell, interp *drift.Interpolator, shard *obs.Shard) (Result, error) {
+	reg := obs.NewRegistry()
+	cfg := core.Config{
+		SampleShift:   spec.Shift,
+		Seed:          spec.Seed,
+		PacketsPerSec: spec.PPS,
+		Workers:       c.Workers,
+		Obs:           reg,
+	}
+	sim := spec.Mode == "sim"
+	if sim {
+		cfg.KeepPackets = true
+		cfg.Faults = core.FaultPlan{
+			Impairments:     c.Loss.Imps,
+			Retries:         c.Retry.Retries,
+			AdaptiveTimeout: c.Retry.Adaptive,
+			UpstreamBackoff: c.Retry.Backoff,
+			MaxQueuedEvents: spec.MaxEvents,
+		}
+	}
+
+	wallStart := time.Now()
+	var (
+		ds  *core.Dataset
+		err error
+	)
+	switch {
+	case c.Year.Pure:
+		cfg.Year = c.Year.Year
+		if sim {
+			ds, err = core.RunSimulation(cfg)
+		} else {
+			ds, err = core.RunSynthetic(cfg)
+		}
+	default:
+		cfg.Year = paperdata.Y2018
+		mixed, merr := interp.At(c.Year.Weight)
+		if merr != nil {
+			return Result{}, merr
+		}
+		if sim {
+			ds, err = core.SimulatePopulation(cfg, mixed, interp.Threat())
+		} else {
+			ds, err = core.SynthesizePopulation(cfg, mixed, interp.Threat())
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	merged := reg.Merged()
+	merged.MergeInto(shard)
+	res := Result{
+		Cell:             c,
+		Digest:           core.FaultDigest(ds),
+		Report:           ds.Report,
+		NetStats:         ds.NetStats,
+		FaultStats:       ds.FaultStats,
+		ProbeStats:       ds.ProbeStats,
+		ClustersUsed:     ds.ClustersUsed,
+		SubdomainsReused: ds.SubdomainsReused,
+		VirtualNanos:     merged.Counter(obs.CSimVirtualNanos),
+		WallNanos:        uint64(time.Since(wallStart)),
+	}
+	return res, nil
+}
+
+// artifact is the on-disk form of a completed cell: the cell's identity
+// (key plus the spec scalars that shape it), its digest, and every field
+// the matrix needs — so a resumed sweep renders byte-identically to a cold
+// one without re-running the campaign.
+type artifact struct {
+	Version   int    `json:"version"`
+	Key       string `json:"key"`
+	Mode      string `json:"mode"`
+	Shift     uint8  `json:"shift"`
+	Seed      int64  `json:"seed"`
+	PPS       uint64 `json:"pps"`
+	MaxEvents int    `json:"max_events"`
+
+	Digest           string            `json:"digest"`
+	Report           *analysis.Report  `json:"report"`
+	NetStats         netsim.Stats      `json:"net_stats"`
+	FaultStats       netsim.FaultStats `json:"fault_stats"`
+	ProbeStats       prober.Stats      `json:"probe_stats"`
+	ClustersUsed     int               `json:"clusters_used"`
+	SubdomainsReused uint64            `json:"subdomains_reused"`
+	VirtualNanos     uint64            `json:"virtual_nanos"`
+	WallNanos        uint64            `json:"wall_nanos"`
+}
+
+const artifactVersion = 1
+
+func artifactPath(dir string, c Cell) string {
+	return filepath.Join(dir, "cell-"+c.Slug()+".json")
+}
+
+// writeArtifact persists one executed cell, atomically (write + rename),
+// so a sweep killed mid-write never leaves a half artifact that a later
+// -resume would trust.
+func writeArtifact(spec *Spec, res *Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	a := artifact{
+		Version: artifactVersion,
+		Key:     res.Cell.Key(),
+		Mode:    spec.Mode, Shift: spec.Shift, Seed: spec.Seed,
+		PPS: spec.PPS, MaxEvents: spec.MaxEvents,
+		Digest:           res.Digest,
+		Report:           res.Report,
+		NetStats:         res.NetStats,
+		FaultStats:       res.FaultStats,
+		ProbeStats:       res.ProbeStats,
+		ClustersUsed:     res.ClustersUsed,
+		SubdomainsReused: res.SubdomainsReused,
+		VirtualNanos:     res.VirtualNanos,
+		WallNanos:        res.WallNanos,
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := artifactPath(dir, res.Cell)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadArtifact returns the completed result for a cell if a valid artifact
+// for exactly this cell-under-this-spec exists. Any mismatch (version,
+// key, scalars) or decode failure just reports "not resumable" — the cell
+// re-runs and rewrites the artifact.
+func loadArtifact(spec *Spec, c Cell, dir string) (Result, bool) {
+	data, err := os.ReadFile(artifactPath(dir, c))
+	if err != nil {
+		return Result{}, false
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Result{}, false
+	}
+	if a.Version != artifactVersion || a.Key != c.Key() ||
+		a.Mode != spec.Mode || a.Shift != spec.Shift || a.Seed != spec.Seed ||
+		a.PPS != spec.PPS || a.MaxEvents != spec.MaxEvents ||
+		a.Digest == "" || a.Report == nil {
+		return Result{}, false
+	}
+	return Result{
+		Cell:             c,
+		Digest:           a.Digest,
+		Report:           a.Report,
+		NetStats:         a.NetStats,
+		FaultStats:       a.FaultStats,
+		ProbeStats:       a.ProbeStats,
+		ClustersUsed:     a.ClustersUsed,
+		SubdomainsReused: a.SubdomainsReused,
+		VirtualNanos:     a.VirtualNanos,
+		WallNanos:        a.WallNanos,
+	}, true
+}

@@ -1,0 +1,197 @@
+// Command benchdiff gates benchmark regressions: it compares a fresh
+// bench2json document against one or more checked-in baselines
+// (BENCH_PR1.json, BENCH_PR2.json, ...) and exits nonzero when any common
+// benchmark got more than -max-ratio slower in ns/op, or allocates more
+// per op at all — the repo's hot paths are allocation-free by design, so
+// any allocs/op increase is a regression, not noise.
+//
+// Usage:
+//
+//	make bench BENCH_OUT=bench_fresh.json
+//	go run ./scripts/benchdiff -fresh bench_fresh.json BENCH_PR1.json BENCH_PR2.json
+//
+// Baselines may be plain bench2json documents or the {"before","after"}
+// pair BENCH_PR2.json records; the "after" side is the baseline. Repeated
+// runs of one benchmark collapse to their per-metric minimum (the least
+// noisy sample) before comparison. Benchmarks present on only one side are
+// reported but never fail the gate, so baselines from different PRs can
+// cover different suites.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// pairDoc is the BENCH_PR2.json shape: one optimization's before/after.
+type pairDoc struct {
+	Before *document `json:"before"`
+	After  *document `json:"after"`
+}
+
+// loadDoc reads a bench2json document, accepting both the plain shape and
+// the before/after pair (the "after" side is the committed baseline).
+func loadDoc(path string) (*document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pair pairDoc
+	if err := json.Unmarshal(data, &pair); err == nil && pair.After != nil {
+		return pair.After, nil
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// mins collapses repeated runs of each benchmark to the per-metric minimum.
+func mins(doc *document) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for _, b := range doc.Benchmarks {
+		m := out[b.Name]
+		if m == nil {
+			m = make(map[string]float64)
+			out[b.Name] = m
+		}
+		for metric, v := range b.Metrics {
+			if cur, ok := m[metric]; !ok || v < cur {
+				m[metric] = v
+			}
+		}
+	}
+	return out
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	freshPath := fs.String("fresh", "", "fresh bench2json document to gate (required)")
+	maxRatio := fs.Float64("max-ratio", 1.25, "fail when fresh ns/op exceeds baseline × this ratio")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *freshPath == "" {
+		return errors.New("-fresh is required")
+	}
+	if fs.NArg() == 0 {
+		return errors.New("no baseline files given")
+	}
+
+	freshDoc, err := loadDoc(*freshPath)
+	if err != nil {
+		return err
+	}
+	fresh := mins(freshDoc)
+
+	// Merge every baseline; on a name collision the *newest* file (last on
+	// the command line) wins, matching how successive PRs re-baseline.
+	base := make(map[string]map[string]float64)
+	for _, path := range fs.Args() {
+		doc, err := loadDoc(path)
+		if err != nil {
+			return err
+		}
+		for name, m := range mins(doc) {
+			base[name] = m
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	compared := 0
+	fmt.Fprintf(stdout, "%-40s %14s %14s %7s %s\n", "benchmark", "base ns/op", "fresh ns/op", "ratio", "verdict")
+	for _, name := range names {
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s %14.0f %14s %7s %s\n", name, base[name]["ns/op"], "-", "-", "not in fresh run (skipped)")
+			continue
+		}
+		compared++
+		bNs, fNs := base[name]["ns/op"], f["ns/op"]
+		ratio := 0.0
+		if bNs > 0 {
+			ratio = fNs / bNs
+		}
+		verdict := "ok"
+		if bNs > 0 && ratio > *maxRatio {
+			verdict = fmt.Sprintf("FAIL ns/op +%.0f%% (limit +%.0f%%)", 100*(ratio-1), 100*(*maxRatio-1))
+			failures = append(failures, name+": "+verdict)
+		}
+		if bA, ok := base[name]["allocs/op"]; ok {
+			if fA, ok := f["allocs/op"]; ok && fA > bA {
+				av := fmt.Sprintf("FAIL allocs/op %.0f -> %.0f", bA, fA)
+				if verdict == "ok" {
+					verdict = av
+				} else {
+					verdict += "; " + av
+				}
+				failures = append(failures, name+": "+av)
+			}
+		}
+		fmt.Fprintf(stdout, "%-40s %14.0f %14.0f %6.2fx %s\n", name, bNs, fNs, ratio, verdict)
+	}
+	var freshOnly []string
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			freshOnly = append(freshOnly, name)
+		}
+	}
+	sort.Strings(freshOnly)
+	for _, name := range freshOnly {
+		fmt.Fprintf(stdout, "%-40s %14s %14.0f %7s %s\n", name, "-", fresh[name]["ns/op"], "-", "no baseline (skipped)")
+	}
+	if compared == 0 {
+		return errors.New("no benchmark names in common between fresh run and baselines")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(failures), joinLines(failures))
+	}
+	fmt.Fprintf(stdout, "\nbenchdiff: %d benchmarks within limits (max ns/op ratio %.2f, no alloc growth)\n", compared, *maxRatio)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseDoc = `{
+  "go_version": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkA", "procs": 1, "iterations": 10, "metrics": {"ns/op": 1000, "allocs/op": 5}},
+    {"name": "BenchmarkA", "procs": 1, "iterations": 10, "metrics": {"ns/op": 1100, "allocs/op": 5}},
+    {"name": "BenchmarkB", "procs": 1, "iterations": 10, "metrics": {"ns/op": 2000, "allocs/op": 0}},
+    {"name": "BenchmarkOld", "procs": 1, "iterations": 10, "metrics": {"ns/op": 50}}
+  ]
+}`
+
+// pairDoc exercises the BENCH_PR2.json before/after shape: the gate
+// compares against the "after" side only.
+const pairDocText = `{
+  "before": {"benchmarks": [{"name": "BenchmarkC", "metrics": {"ns/op": 9000, "allocs/op": 90}}]},
+  "after":  {"benchmarks": [{"name": "BenchmarkC", "metrics": {"ns/op": 3000, "allocs/op": 2}}]}
+}`
+
+// fresh renders a fresh document with tunable A/B/C results plus one
+// benchmark the baselines have never seen.
+func fresh(aNs, aAllocs, bNs, cNs float64) string {
+	return fmt.Sprintf(`{"benchmarks": [
+  {"name": "BenchmarkA", "metrics": {"ns/op": %g, "allocs/op": %g}},
+  {"name": "BenchmarkB", "metrics": {"ns/op": %g, "allocs/op": 0}},
+  {"name": "BenchmarkC", "metrics": {"ns/op": %g, "allocs/op": 2}},
+  {"name": "BenchmarkNew", "metrics": {"ns/op": 7}}
+]}`, aNs, aAllocs, bNs, cNs)
+}
+
+func runDiff(t *testing.T, freshText string, extra ...string) (string, error) {
+	t.Helper()
+	dir := t.TempDir()
+	freshPath := writeJSON(t, dir, "fresh.json", freshText)
+	base1 := writeJSON(t, dir, "base1.json", baseDoc)
+	base2 := writeJSON(t, dir, "base2.json", pairDocText)
+	var out, errb bytes.Buffer
+	args := append([]string{"-fresh", freshPath}, extra...)
+	args = append(args, base1, base2)
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestBenchdiffPass(t *testing.T) {
+	// Within 25% on ns/op (baseline A collapses to min 1000), equal allocs.
+	out, err := runDiff(t, fresh(1200, 5, 2100, 3100))
+	if err != nil {
+		t.Fatalf("expected pass, got %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"BenchmarkA", "BenchmarkB", "BenchmarkC",
+		"not in fresh run (skipped)", // BenchmarkOld
+		"no baseline (skipped)",      // BenchmarkNew
+		"within limits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchdiffNsRegression(t *testing.T) {
+	// A at 1300 vs min-baseline 1000 = +30% > 25%.
+	out, err := runDiff(t, fresh(1300, 5, 2000, 3000))
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("expected ns/op regression failure, got %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "FAIL ns/op") {
+		t.Errorf("output missing ns/op verdict:\n%s", out)
+	}
+}
+
+func TestBenchdiffAllocRegression(t *testing.T) {
+	// Any allocs/op increase fails, even with ns/op well within bounds.
+	out, err := runDiff(t, fresh(900, 6, 2000, 3000))
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("expected allocs/op failure, got %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "FAIL allocs/op 5 -> 6") {
+		t.Errorf("output missing allocs verdict:\n%s", out)
+	}
+}
+
+func TestBenchdiffMaxRatioFlag(t *testing.T) {
+	// +30% passes when the gate is loosened to 1.5.
+	if out, err := runDiff(t, fresh(1300, 5, 2000, 3000), "-max-ratio", "1.5"); err != nil {
+		t.Fatalf("expected pass at -max-ratio 1.5, got %v\n%s", err, out)
+	}
+}
+
+func TestBenchdiffPairBaseline(t *testing.T) {
+	// BenchmarkC's baseline is the pair's "after" (3000 ns, 2 allocs):
+	// 4000 ns is +33% and must fail against it, not against "before".
+	out, err := runDiff(t, fresh(1000, 5, 2000, 4000))
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkC") {
+		t.Fatalf("expected BenchmarkC regression vs the after side, got %v\n%s", err, out)
+	}
+}
+
+func TestBenchdiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	freshPath := writeJSON(t, dir, "fresh.json", fresh(1000, 5, 2000, 3000))
+	basePath := writeJSON(t, dir, "base.json", baseDoc)
+	disjoint := writeJSON(t, dir, "disjoint.json", `{"benchmarks": [{"name": "BenchmarkZ", "metrics": {"ns/op": 1}}]}`)
+	bad := writeJSON(t, dir, "bad.json", "{not json")
+
+	var out, errb bytes.Buffer
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no fresh", []string{basePath}, "-fresh is required"},
+		{"no baselines", []string{"-fresh", freshPath}, "no baseline files"},
+		{"bad json", []string{"-fresh", freshPath, bad}, "bad.json"},
+		{"no common names", []string{"-fresh", disjoint, basePath}, "in common"},
+		{"missing file", []string{"-fresh", freshPath, filepath.Join(dir, "gone.json")}, "gone.json"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, &out, &errb)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) err = %v, want containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
