@@ -8,7 +8,9 @@
 #   make vet        static checks
 #   make bench      campaign benchmarks, recorded as BENCH_PR1.json
 #   make bench-sim  simulated-campaign + event-core benchmarks (BENCH_PR2 set)
+#   make bench-batch batched-drain benchmarks: StepBatch vs Step (PR3 set)
 #   make profile    bench-sim under -cpuprofile/-memprofile for pprof
+#                   (PROFILE_PKG / PROFILE_BENCH select other suites)
 #   make cover      test suite with coverage profile + per-function summary
 #   make doccheck   every package documented (go vet + scripts/doccheck)
 #   make smoke      2×2 orsweep grid: pinned baseline digest + pool invariance
@@ -18,7 +20,13 @@
 GO ?= go
 BENCH_OUT ?= BENCH_PR1.json
 BENCH_FRESH ?= bench_fresh.json
+# Repetitions per benchmark; benchdiff collapses them to per-metric minima,
+# so more runs means less scheduler noise in the gate.
+BENCH_COUNT ?= 3
 PROFILE_DIR ?= profiles
+# Profile target knobs: which package and which benchmarks to profile.
+PROFILE_PKG ?= .
+PROFILE_BENCH ?= CampaignSimulated
 COVER_OUT ?= cover.out
 SMOKE_DIR ?= smoke-out
 
@@ -30,7 +38,7 @@ SMOKE_DIR ?= smoke-out
 # the campaign bytes.
 SMOKE_BASELINE := 5c749ccd942b9413e4369765c5b28423c0678dc6910e2521c6fceb5b66623278
 
-.PHONY: all build test chaos race vet bench bench-sim benchdiff profile cover doccheck smoke ci
+.PHONY: all build test chaos race vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke ci
 
 all: build vet test
 
@@ -75,26 +83,34 @@ doccheck: vet
 	$(GO) run ./scripts/doccheck ./internal ./cmd
 
 bench:
-	$(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count 3 . \
+	$(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count $(BENCH_COUNT) . \
 		| tee /dev/stderr | $(GO) run ./scripts/bench2json > $(BENCH_OUT)
 
 # Full simulated campaigns (both calibration years) plus the event-core
 # micro-benchmarks that the PR2 optimization targets.
 bench-sim:
-	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 3 .
+	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count $(BENCH_COUNT) .
 	$(GO) test -run '^$$' -bench 'EventThroughput|TimerEnqueueDequeue|HostLookup' \
-		-benchmem -count 3 ./internal/netsim
+		-benchmem -count $(BENCH_COUNT) ./internal/netsim
 
-# Benchmark-regression gate: run the committed benchmark suites once, fold
-# the output through bench2json, and compare against the checked-in
-# baselines. Fails on >25% ns/op growth or any allocs/op growth for any
-# benchmark both sides know. bench_fresh.json is scratch (gitignored).
+# The batched event-core drains head-to-head: the same fan-out workload
+# through the single-event Step loop and the same-timestamp StepBatch drain.
+bench-batch:
+	$(GO) test -run '^$$' -bench 'StepDrain|StepBatchDrain' \
+		-benchmem -count $(BENCH_COUNT) ./internal/netsim
+
+# Benchmark-regression gate: run the committed benchmark suites, fold the
+# output through bench2json (repeat runs collapse to per-metric minima), and
+# compare against the newest checked-in BENCH_PR<n>.json baseline. Fails on
+# >25% ns/op growth or >0.1% allocs/op growth for any benchmark both sides
+# know (zero-alloc benchmarks stay strict — 0 × 1.001 is still 0).
+# bench_fresh.json is scratch (gitignored).
 benchdiff:
-	( $(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count 1 . ; \
-	  $(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 1 . ; \
-	  $(GO) test -run '^$$' -bench 'TimerEnqueueDequeue|HostLookup' -benchmem -count 1 ./internal/netsim ) \
+	( $(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count $(BENCH_COUNT) . ; \
+	  $(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count $(BENCH_COUNT) . ; \
+	  $(GO) test -run '^$$' -bench 'TimerEnqueueDequeue|HostLookup|StepBatchDrain' -benchmem -count $(BENCH_COUNT) ./internal/netsim ) \
 	  | $(GO) run ./scripts/bench2json > $(BENCH_FRESH)
-	$(GO) run ./scripts/benchdiff -fresh $(BENCH_FRESH) BENCH_PR1.json BENCH_PR2.json
+	$(GO) run ./scripts/benchdiff -fresh $(BENCH_FRESH) -alloc-ratio 1.001 -newest BENCH_PR*.json
 
 # Sweep smoke: a 2×2 grid (2018/2013 × pristine/20% loss) at the golden
 # scale, run twice with different pool sizes. Asserts the matrix is
@@ -117,10 +133,12 @@ smoke:
 # .github/workflows/ci.yml (the workflow adds a non-blocking benchdiff).
 ci: build vet test race chaos doccheck smoke
 
-# CPU and heap profiles of the simulated campaign for pprof:
+# CPU and heap profiles for pprof — by default the simulated campaign:
 #   go tool pprof $(PROFILE_DIR)/cpu.out
+# Other suites via the knobs, e.g. the batched drain:
+#   make profile PROFILE_PKG=./internal/netsim PROFILE_BENCH=StepBatchDrain
 profile:
 	mkdir -p $(PROFILE_DIR)
-	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count 1 \
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchmem -count 1 \
 		-cpuprofile $(PROFILE_DIR)/cpu.out -memprofile $(PROFILE_DIR)/mem.out \
-		-o $(PROFILE_DIR)/bench.test .
+		-o $(PROFILE_DIR)/bench.test $(PROFILE_PKG)

@@ -15,6 +15,7 @@ package analysis
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"openresolver/internal/dnssrv"
@@ -284,14 +285,23 @@ func (a *Accumulator) addIncorrect(src ipv4.Addr, msg *dnswire.Message, form ans
 		}
 	case formURL:
 		if t, ok := firstTarget(msg, dnswire.TypeCNAME); ok {
-			a.urlCounts[t]++
+			bumpCount(a.urlCounts, t)
 		}
 	case formStr:
 		t, _ := firstTarget(msg, dnswire.TypeTXT)
-		a.strCounts[t]++
+		bumpCount(a.strCounts, t)
 	case formNA:
 		a.naPackets++
 	}
+}
+
+// bumpCount increments m[k] through an owned copy of k: decoded targets
+// alias their message's arena (dnswire.UnpackInto), and a map assignment
+// may install the live key operand even when the key is already present —
+// a lookup-then-clone-on-miss guard is NOT enough to keep aliased bytes
+// out of the map.
+func bumpCount(m map[string]uint64, k string) {
+	m[strings.Clone(k)]++
 }
 
 func firstTarget(msg *dnswire.Message, t dnswire.Type) (string, bool) {

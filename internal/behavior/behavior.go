@@ -20,6 +20,8 @@
 package behavior
 
 import (
+	"strings"
+
 	"openresolver/internal/dnssrv"
 	"openresolver/internal/dnswire"
 	"openresolver/internal/ipv4"
@@ -207,6 +209,9 @@ func (r *Resolver) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
 	if r.profile.Upstream > 0 {
 		// The callback may fire now (cache hit) or events later, after the
 		// scratch has been re-decoded — it reads only the qinfo capture.
+		// The captured name aliases the decode arena (dnswire.UnpackInto),
+		// so the deferred path must pin its own copy.
+		qi.name = strings.Clone(qi.name)
 		r.rec.Resolve(qi.name, func(res dnssrv.Result) {
 			r.respond(n, qi, res)
 		})

@@ -1,0 +1,77 @@
+package core
+
+import "openresolver/internal/ipv4"
+
+// addrIndex is a minimal open-addressed ipv4.Addr → int32 table backing the
+// simulation spawner's cohort lookup. The spawner is consulted once per
+// probed candidate and the overwhelming majority of lookups miss (only ~4%
+// of scanned addresses host a resolver), so the miss path matters: with
+// Fibonacci hashing and linear probing a miss is one or two cache-line
+// touches, where the generic map pays hashing, bucket-group dispatch and
+// control-byte matching per probe. Insert-only; values are non-negative
+// cohort indices (-1 marks an empty slot).
+type addrIndex struct {
+	keys  []ipv4.Addr
+	vals  []int32
+	mask  uint32
+	shift uint32
+}
+
+// newAddrIndex returns a table pre-sized for n entries at ≤50% load.
+func newAddrIndex(n int) *addrIndex {
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	ai := &addrIndex{
+		keys:  make([]ipv4.Addr, size),
+		vals:  make([]int32, size),
+		mask:  uint32(size - 1),
+		shift: uint32(32 - log2(size)),
+	}
+	for i := range ai.vals {
+		ai.vals[i] = -1
+	}
+	return ai
+}
+
+func log2(pow2 int) int {
+	n := 0
+	for 1<<n < pow2 {
+		n++
+	}
+	return n
+}
+
+func (ai *addrIndex) home(a ipv4.Addr) uint32 {
+	// Multiply-shift: the product's high bits are well mixed, so index by
+	// them (the low bits of sequentially assigned addresses are not).
+	return (uint32(a) * 0x9E3779B9) >> ai.shift
+}
+
+// put inserts or overwrites the value for a.
+func (ai *addrIndex) put(a ipv4.Addr, v int32) {
+	i := ai.home(a)
+	for {
+		if ai.vals[i] < 0 || ai.keys[i] == a {
+			ai.keys[i] = a
+			ai.vals[i] = v
+			return
+		}
+		i = (i + 1) & ai.mask
+	}
+}
+
+// get returns the value for a, or ok=false.
+func (ai *addrIndex) get(a ipv4.Addr) (int32, bool) {
+	i := ai.home(a)
+	for {
+		if ai.vals[i] < 0 {
+			return 0, false
+		}
+		if ai.keys[i] == a {
+			return ai.vals[i], true
+		}
+		i = (i + 1) & ai.mask
+	}
+}

@@ -529,14 +529,14 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	// NewResolver draws no randomness and delivery accounting is unchanged,
 	// the run is bit-identical to eager registration.
 	sp = tr.Begin("population-place")
-	cohortOf := make(map[ipv4.Addr]int32, pop.ExpectedR2)
+	cohortOf := newAddrIndex(int(pop.ExpectedR2))
 	for ci, cohort := range pop.Cohorts {
 		for i := uint64(0); i < cohort.Count; i++ {
 			src, err := assigner.Next(cohort.Country)
 			if err != nil {
 				return nil, err
 			}
-			cohortOf[src] = int32(ci)
+			cohortOf.put(src, int32(ci))
 		}
 	}
 	tr.End(sp)
@@ -545,7 +545,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 		tune = func(rec *dnssrv.Recursive) { rec.Backoff, rec.Jitter = true, true }
 	}
 	sim.SetSpawner(func(addr ipv4.Addr) bool {
-		ci, ok := cohortOf[addr]
+		ci, ok := cohortOf.get(addr)
 		if !ok {
 			return false
 		}
@@ -564,7 +564,11 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	sh := cfg.Obs.NewShard("sim")
 	sim.SetObserver(sh)
 
-	infra := map[ipv4.Addr]bool{ProberAddr: true, RootAddr: true, TLDAddr: true, AuthAddr: true}
+	// Skip runs once per scanned candidate; four address compares beat a
+	// map probe on that path (and draw no hash state).
+	skipInfra := func(a ipv4.Addr) bool {
+		return a == ProberAddr || a == RootAddr || a == TLDAddr || a == AuthAddr
+	}
 	pr, err := prober.Start(sim, prober.Config{
 		Addr:            ProberAddr,
 		Universe:        u,
@@ -578,7 +582,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 		Auth:            auth,
 		Log:             probeLog,
 		Obs:             sh,
-		Skip:            func(a ipv4.Addr) bool { return infra[a] },
+		Skip:            skipInfra,
 	})
 	if err != nil {
 		return nil, err

@@ -12,7 +12,7 @@ package dist
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Errors returned by the distribution primitives.
@@ -59,11 +59,17 @@ func LargestRemainder(weights []uint64, target uint64) ([]uint64, error) {
 		rems = append(rems, rem{i, r})
 	}
 	// Distribute the shortfall to the largest remainders.
-	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].r != rems[b].r {
-			return rems[a].r > rems[b].r
+	// The comparator is a strict total order (idx breaks every remainder
+	// tie), so an unstable sort is fully determined; SortFunc avoids
+	// sort.Slice's reflect-based swapper on this population-builder hot path.
+	slices.SortFunc(rems, func(a, b rem) int {
+		if a.r != b.r {
+			if a.r > b.r {
+				return -1
+			}
+			return 1
 		}
-		return rems[a].idx < rems[b].idx
+		return a.idx - b.idx
 	})
 	short := target - allocated
 	for i := uint64(0); i < short; i++ {

@@ -1,6 +1,7 @@
 package dnssrv
 
 import (
+	"strings"
 	"time"
 
 	"openresolver/internal/dnswire"
@@ -347,7 +348,9 @@ func (r *Recursive) process(fl *inflight, msg *dnswire.Message) {
 		return
 	}
 	ttl := 172800 * time.Second
-	r.referrals[zone] = cacheEntry{addr: next, expires: r.node.Now() + ttl}
+	// zone aliases msg's decode arena (dnswire.UnpackInto); the cache key
+	// outlives the packet, so pin a copy.
+	r.referrals[strings.Clone(zone)] = cacheEntry{addr: next, expires: r.node.Now() + ttl}
 	r.query(fl.qname, next, fl.done, fl.depth+1)
 }
 

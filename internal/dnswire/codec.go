@@ -162,17 +162,24 @@ func Unpack(msg []byte) (*Message, error) {
 }
 
 // UnpackInto decodes a wire-format message into m, reusing m's section
-// slices and per-record RDATA buffers across calls. It accepts exactly the
-// messages Unpack accepts and yields semantically identical results, with
-// one representational difference: a section absent from the wire is left
-// as a length-0 (possibly non-nil) slice rather than nil, so the backing
-// arrays survive for the next call. A streaming consumer decoding millions
-// of R2 packets into one scratch Message runs the structural part of the
-// parse allocation-free (name strings are still materialized per call).
+// slices, per-record RDATA buffers, and name arena across calls. It
+// accepts exactly the messages Unpack accepts and yields semantically
+// identical results, with one representational difference: a section
+// absent from the wire is left as a length-0 (possibly non-nil) slice
+// rather than nil, so the backing arrays survive for the next call. A
+// streaming consumer decoding millions of R2 packets into one scratch
+// Message runs the whole parse allocation-free in steady state — name and
+// TXT strings alias m's arena instead of being materialized per call.
 //
-// On error m's contents are unspecified; it remains valid as scratch for
-// the next call. m must not alias the previous decode's results anywhere
-// the caller still reads.
+// The aliasing sharpens the reuse contract: every string in m (question
+// names, RR names, targets) is overwritten in place by the next UnpackInto
+// on the same m. Callers that retain a decoded name past that point —
+// cache keys, deferred callbacks — must strings.Clone it first. Beware
+// that assigning a map entry counts as retaining the key even when the
+// key is already present (the runtime may install the live operand), so
+// map writes keyed by a decoded name always need the clone. On error m's
+// contents are unspecified; it remains valid as scratch for the next
+// call.
 func UnpackInto(m *Message, msg []byte) error {
 	if len(msg) < 12 {
 		return ErrShortHeader
@@ -189,6 +196,7 @@ func UnpackInto(m *Message, msg []byte) error {
 	}
 
 	m.Header = headerFromFlags(id, flags)
+	m.arena = m.arena[:0]
 	off := 12
 	var err error
 	m.Questions = m.Questions[:0]
@@ -197,7 +205,7 @@ func UnpackInto(m *Message, msg []byte) error {
 	}
 	for i := 0; i < qd; i++ {
 		var q Question
-		if q.Name, off, err = readName(msg, off); err != nil {
+		if q.Name, off, err = m.readName(msg, off); err != nil {
 			return fmt.Errorf("question %d: %w", i, err)
 		}
 		if off+4 > len(msg) {
@@ -208,13 +216,13 @@ func UnpackInto(m *Message, msg []byte) error {
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	if m.Answers, off, err = readSection(m.Answers, an, msg, off); err != nil {
+	if m.Answers, off, err = m.readSection(m.Answers, an, msg, off); err != nil {
 		return err
 	}
-	if m.Authority, off, err = readSection(m.Authority, ns, msg, off); err != nil {
+	if m.Authority, off, err = m.readSection(m.Authority, ns, msg, off); err != nil {
 		return err
 	}
-	if m.Additional, off, err = readSection(m.Additional, ar, msg, off); err != nil {
+	if m.Additional, off, err = m.readSection(m.Additional, ar, msg, off); err != nil {
 		return err
 	}
 	if off != len(msg) {
@@ -225,14 +233,14 @@ func UnpackInto(m *Message, msg []byte) error {
 
 // readSection decodes n records into s, reusing its backing array (and
 // each element's RDATA buffer) when large enough.
-func readSection(s []RR, n int, msg []byte, off int) ([]RR, int, error) {
+func (m *Message) readSection(s []RR, n int, msg []byte, off int) ([]RR, int, error) {
 	if cap(s) < n {
 		s = make([]RR, n)
 	}
 	s = s[:n]
 	for i := 0; i < n; i++ {
 		var err error
-		if off, err = readRRInto(&s[i], msg, off); err != nil {
+		if off, err = m.readRRInto(&s[i], msg, off); err != nil {
 			return s, 0, fmt.Errorf("rr %d: %w", i, err)
 		}
 	}
@@ -241,11 +249,11 @@ func readSection(s []RR, n int, msg []byte, off int) ([]RR, int, error) {
 
 // readRRInto decodes one resource record into *rr, reusing rr's RDATA
 // buffer; every other field is overwritten.
-func readRRInto(rr *RR, msg []byte, off int) (int, error) {
+func (m *Message) readRRInto(rr *RR, msg []byte, off int) (int, error) {
 	data := rr.Data[:0]
 	*rr = RR{}
 	var err error
-	if rr.Name, off, err = readName(msg, off); err != nil {
+	if rr.Name, off, err = m.readName(msg, off); err != nil {
 		return 0, err
 	}
 	if off+10 > len(msg) {
@@ -271,7 +279,7 @@ func readRRInto(rr *RR, msg []byte, off int) (int, error) {
 		}
 		rr.A = binary.BigEndian.Uint32(rr.Data)
 	case TypeNS, TypeCNAME, TypePTR:
-		target, end, err := readName(msg, rdStart)
+		target, end, err := m.readName(msg, rdStart)
 		if err != nil || end != rdStart+rdlen {
 			rr.Malformed = true
 			break
@@ -283,7 +291,7 @@ func readRRInto(rr *RR, msg []byte, off int) (int, error) {
 			break
 		}
 		rr.Pref = binary.BigEndian.Uint16(rr.Data)
-		target, end, err := readName(msg, rdStart+2)
+		target, end, err := m.readName(msg, rdStart+2)
 		if err != nil || end != rdStart+rdlen {
 			rr.Malformed = true
 			break
@@ -294,7 +302,7 @@ func readRRInto(rr *RR, msg []byte, off int) (int, error) {
 			rr.Malformed = true
 			break
 		}
-		rr.Target = string(rr.Data[1:])
+		rr.Target = m.internBytes(rr.Data[1:])
 	}
 	return off, nil
 }

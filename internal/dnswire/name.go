@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"unsafe"
 )
 
 // Errors returned by name encoding and decoding.
@@ -145,30 +146,52 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 // escaping dots, backslashes and non-printable octets (RFC 1035 §5.1), and
 // lowercasing ASCII letters (names compare case-insensitively and the
 // measurement groups flows by canonical qname).
-func appendPresentation(b *strings.Builder, label []byte) {
+func appendPresentation(dst []byte, label []byte) []byte {
 	for _, c := range label {
 		switch {
 		case c == '.' || c == '\\':
-			b.WriteByte('\\')
-			b.WriteByte(c)
+			dst = append(dst, '\\', c)
 		case c < 0x21 || c > 0x7E:
-			b.WriteByte('\\')
-			b.WriteByte('0' + c/100)
-			b.WriteByte('0' + c/10%10)
-			b.WriteByte('0' + c%10)
+			dst = append(dst, '\\', '0'+c/100, '0'+c/10%10, '0'+c%10)
 		case c >= 'A' && c <= 'Z':
-			b.WriteByte(c + 'a' - 'A')
+			dst = append(dst, c+'a'-'A')
 		default:
-			b.WriteByte(c)
+			dst = append(dst, c)
 		}
 	}
+	return dst
+}
+
+// arenaString returns m.arena[start:] as a string aliasing the arena's
+// storage — the zero-copy tail of every readName. The string stays valid
+// even if later names regrow the arena (the old backing array survives
+// behind the string), and is invalidated only by the next UnpackInto on m,
+// which rewinds the arena and overwrites it in place.
+func (m *Message) arenaString(start int) string {
+	n := len(m.arena) - start
+	if n == 0 {
+		return ""
+	}
+	return unsafe.String(&m.arena[start], n)
+}
+
+// internBytes copies b into m's arena and returns it as an arena string,
+// subject to the same lifetime rule as arenaString.
+func (m *Message) internBytes(b []byte) string {
+	start := len(m.arena)
+	m.arena = append(m.arena, b...)
+	return m.arenaString(start)
 }
 
 // readName decodes a possibly compressed name starting at off in msg. It
-// returns the decoded name in presentation form (lowercase, no trailing dot)
-// and the offset of the first byte after the name at its original position.
-func readName(msg []byte, off int) (string, int, error) {
-	var b strings.Builder
+// returns the decoded name in presentation form (lowercase, no trailing
+// dot) and the offset of the first byte after the name at its original
+// position. The returned string aliases m's arena: it is valid until the
+// next UnpackInto on m — the price of decoding millions of R2 packets
+// through one scratch Message without a per-name allocation.
+func (m *Message) readName(msg []byte, off int) (string, int, error) {
+	start := len(m.arena)
+	b := m.arena
 	ptrBudget := len(msg) // each pointer must strictly decrease; budget bounds loops
 	jumped := false
 	next := 0 // resume offset once the first pointer is followed
@@ -182,24 +205,20 @@ func readName(msg []byte, off int) (string, int, error) {
 			if !jumped {
 				next = off + 1
 			}
-			return b.String(), next, nil
+			m.arena = b
+			return m.arenaString(start), next, nil
 		case c < 64: // ordinary label
 			end := off + 1 + c
 			if end > len(msg) {
 				return "", 0, ErrTruncatedName
 			}
-			if b.Cap() == 0 {
-				// One up-front allocation covers virtually every real name;
-				// the builder regrows only past 64 presentation bytes.
-				b.Grow(64)
+			if len(b) != start {
+				b = append(b, '.')
 			}
-			if b.Len() != 0 {
-				b.WriteByte('.')
-			}
-			if b.Len()+c > 4*maxNameWire {
+			if len(b)-start+c > 4*maxNameWire {
 				return "", 0, ErrNameTooLong
 			}
-			appendPresentation(&b, msg[off+1:end])
+			b = appendPresentation(b, msg[off+1:end])
 			off = end
 		case c >= 0xC0: // compression pointer
 			if off+1 >= len(msg) {

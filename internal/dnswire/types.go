@@ -216,6 +216,12 @@ type Message struct {
 	Answers    []RR
 	Authority  []RR
 	Additional []RR
+
+	// arena backs every name and TXT string UnpackInto materializes for
+	// this message. The strings alias this storage, so they are valid only
+	// until the next UnpackInto on the same Message — callers that retain a
+	// decoded name across decodes must strings.Clone it first.
+	arena []byte
 }
 
 // Question1 returns the first question, or the zero Question if the question

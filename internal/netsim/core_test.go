@@ -227,38 +227,79 @@ func TestPayloadPoolRecycles(t *testing.T) {
 
 // TestHeapOrderingProperty drives the 4-ary heap with thousands of random
 // deadlines and asserts the pop order is exactly the (at, seq) total order:
-// nondecreasing times, insertion order within equal times.
+// nondecreasing times, insertion order within equal times. The dense variant
+// compresses deadlines into a handful of instants (heavy same-timestamp ties,
+// the StepBatch drain's bread and butter) and cancels a third of the timers
+// mid-queue to exercise lazy deletion through both the SoA heap and the ring.
 func TestHeapOrderingProperty(t *testing.T) {
-	s := New(Config{Seed: 3})
-	n := s.Register(addrA, HostFunc(func(*Node, Datagram) {}))
-	rng := rand.New(rand.NewSource(99))
 	type firing struct {
 		at  time.Duration
 		idx int
 	}
-	var fired []firing
-	const N = 5000
-	for i := 0; i < N; i++ {
-		i := i
-		d := time.Duration(rng.Intn(200)) * time.Millisecond
-		n.After(d, func() { fired = append(fired, firing{s.Now(), i}) })
-	}
-	if err := s.Run(0); err != nil {
-		t.Fatal(err)
-	}
-	if len(fired) != N {
-		t.Fatalf("fired %d/%d timers", len(fired), N)
-	}
-	for i := 1; i < len(fired); i++ {
-		prev, cur := fired[i-1], fired[i]
-		if cur.at < prev.at {
-			t.Fatalf("pop %d at %v after %v: time order violated", i, cur.at, prev.at)
+	check := func(t *testing.T, fired []firing, want int) {
+		t.Helper()
+		if len(fired) != want {
+			t.Fatalf("fired %d/%d timers", len(fired), want)
 		}
-		if cur.at == prev.at && cur.idx < prev.idx {
-			t.Fatalf("pop %d: FIFO tie-break violated (%d before %d at %v)",
-				i, prev.idx, cur.idx, cur.at)
+		for i := 1; i < len(fired); i++ {
+			prev, cur := fired[i-1], fired[i]
+			if cur.at < prev.at {
+				t.Fatalf("pop %d at %v after %v: time order violated", i, cur.at, prev.at)
+			}
+			if cur.at == prev.at && cur.idx < prev.idx {
+				t.Fatalf("pop %d: FIFO tie-break violated (%d before %d at %v)",
+					i, prev.idx, cur.idx, cur.at)
+			}
 		}
 	}
+	t.Run("sparse", func(t *testing.T) {
+		s := New(Config{Seed: 3})
+		n := s.Register(addrA, HostFunc(func(*Node, Datagram) {}))
+		rng := rand.New(rand.NewSource(99))
+		var fired []firing
+		const N = 5000
+		for i := 0; i < N; i++ {
+			i := i
+			d := time.Duration(rng.Intn(200)) * time.Millisecond
+			n.After(d, func() { fired = append(fired, firing{s.Now(), i}) })
+		}
+		if err := s.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fired, N)
+	})
+	t.Run("dense-ties-with-cancels", func(t *testing.T) {
+		s := New(Config{Seed: 3})
+		n := s.Register(addrA, HostFunc(func(*Node, Datagram) {}))
+		rng := rand.New(rand.NewSource(101))
+		var fired []firing
+		const N = 5000
+		stopped := make(map[int]bool)
+		handles := make([]Timer, N)
+		for i := 0; i < N; i++ {
+			i := i
+			// Only 8 distinct instants: every pop resolves a FIFO tie.
+			d := time.Duration(rng.Intn(8)) * time.Millisecond
+			handles[i] = n.After(d, func() { fired = append(fired, firing{s.Now(), i}) })
+		}
+		for i := 0; i < N; i += 3 {
+			handles[i].Stop()
+			stopped[i] = true
+		}
+		if err := s.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fired, N-len(stopped))
+		for _, f := range fired {
+			if stopped[f.idx] {
+				t.Fatalf("cancelled timer %d fired at %v", f.idx, f.at)
+			}
+		}
+		// Lazy deletion still pops (and counts) every scheduled entry.
+		if got := s.Stats().Timers; got != N {
+			t.Fatalf("Stats.Timers = %d, want %d (cancelled entries still popped)", got, N)
+		}
+	})
 }
 
 // TestSendStepAllocBudget is the event core's allocation budget: in steady

@@ -30,6 +30,19 @@ type HostFunc func(n *Node, dg Datagram)
 // HandleDatagram implements Host.
 func (f HostFunc) HandleDatagram(n *Node, dg Datagram) { f(n, dg) }
 
+// BatchHost is an optional extension of Host for endpoints that can absorb
+// several datagrams per dispatch. When the batched drain (StepBatch) pops
+// an adjacent run of same-instant deliveries to one BatchHost, it hands the
+// whole run to HandleBatch in pop order instead of calling HandleDatagram
+// per datagram. Implementations must process the slice in order and must
+// not retain it (or any payload) beyond the call — the simulator reuses
+// both. Equivalence contract: HandleBatch(n, dgs) must leave the host in
+// the same state as calling HandleDatagram(n, dg) for each dg in order.
+type BatchHost interface {
+	Host
+	HandleBatch(n *Node, dgs []Datagram)
+}
+
 // LatencyModel returns the one-way delivery delay for a packet. The rng is
 // the simulation's deterministic source; models may use it for jitter.
 type LatencyModel func(src, dst ipv4.Addr, rng *rand.Rand) time.Duration
@@ -90,9 +103,38 @@ type Sim struct {
 	now time.Duration
 	rng *rand.Rand
 
-	// events is a 4-ary min-heap ordered by (at, seq).
-	events []event
-	seq    uint64
+	// The event queue is a struct-of-arrays 4-ary min-heap ordered by
+	// (at, seq): heapAt/heapSeq hold the sort keys in parallel arrays so a
+	// sift comparison touches only key memory (a 4-child node's at values
+	// span 32 contiguous bytes), and heapRef points into the evSlab payload
+	// arena, so sifting moves 20 bytes per level instead of a whole event.
+	heapAt  []time.Duration
+	heapSeq []uint64
+	heapRef []int32
+	evSlab  []evPayload
+	freeEv  []int32
+	seq     uint64
+
+	// Near-future monotone timer fast path: a bounded ring that accepts a
+	// timer only while its deadline is >= the last accepted one (seq rises
+	// monotonically, so ring order is (at, seq)-sorted by construction).
+	// Overflow or out-of-order arming falls back to the heap; popNext merges
+	// the ring head against the heap root. See DESIGN.md §11.
+	ring       []ringEntry
+	ringHead   uint32
+	ringLen    uint32
+	ringMask   uint32
+	ringTailAt time.Duration
+
+	qstats QueueStats
+
+	// epoch is bumped on Unregister so the batched delivery path can detect
+	// a host-table change mid-run and fall back to per-datagram lookup.
+	epoch uint64
+
+	// Scratch for StepBatch's same-destination delivery grouping.
+	batchDg     []Datagram
+	batchPooled []bool
 
 	// timers are pooled callback slots addressed by event.slot; a slot's
 	// generation is bumped on Stop and on fire so stale handles and lazily
@@ -150,6 +192,19 @@ func (s *Sim) Stats() Stats { return s.stats }
 
 // FaultStats returns a snapshot of the impairment pipeline's counters.
 func (s *Sim) FaultStats() FaultStats { return s.faults }
+
+// QueueStats are event-queue placement counters: how many timer arms took
+// the ring fast path versus falling back to the heap (overflow or
+// out-of-order deadline). They live outside Stats deliberately — the golden
+// digests cover Stats, and queue placement is an implementation detail that
+// must be free to change without re-baselining campaigns.
+type QueueStats struct {
+	RingTimers uint64 // timers accepted by the monotone ring
+	HeapTimers uint64 // timers that fell back to the heap
+}
+
+// QueueStats returns a snapshot of the queue-placement counters.
+func (s *Sim) QueueStats() QueueStats { return s.qstats }
 
 // Rand returns the simulation's deterministic random source. It must only
 // be used from within event handlers (the simulator is single-threaded).
@@ -286,6 +341,7 @@ func (s *Sim) Unregister(addr ipv4.Addr) {
 	if si := s.findSlot(addr); si >= 0 {
 		s.slots[si].idx = slotTomb
 		s.live--
+		s.epoch++
 	}
 }
 
@@ -340,7 +396,38 @@ func (s *Sim) send(dg Datagram, pooled bool) {
 		return
 	}
 	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng)
-	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg, pooled: pooled})
+	if !s.routeExists(dg.Dst) {
+		s.noRoute(dg, pooled)
+		return
+	}
+	s.schedule(s.now+delay, evPayload{kind: evDeliver, dg: dg, pooled: pooled})
+}
+
+// routeExists reports whether dst resolves right now: registered, or
+// registered on the spot by the spawner. Routing is resolved at submission
+// so a dead-letter datagram — the overwhelming majority in a full-universe
+// scan, where ~96% of probes hit silent addresses — never costs a queue
+// round trip. Deliverable packets still re-resolve on arrival (deliverOne),
+// so a host unregistered mid-flight dead-letters exactly as before; the only
+// contract shift is that a host registered *after* Send no longer catches an
+// in-flight packet, a situation nothing in the simulation produces (hosts
+// appear at setup or through the spawner, and the spawner is consulted
+// here). The latency draw above stays unconditional: the rng stream, and
+// with it every downstream event, must not depend on routability.
+func (s *Sim) routeExists(dst ipv4.Addr) bool {
+	if s.findSlot(dst) >= 0 {
+		return true
+	}
+	return s.spawner != nil && s.spawner(dst) && s.findSlot(dst) >= 0
+}
+
+// noRoute counts and discards an unroutable datagram at submission time.
+func (s *Sim) noRoute(dg Datagram, pooled bool) {
+	s.stats.NoRoute++
+	s.obs.Inc(obs.CSimNoRoute)
+	if pooled {
+		s.putPayload(dg.Payload)
+	}
 }
 
 // sendImpaired runs dg through the fault pipeline and executes the combined
@@ -384,7 +471,11 @@ func (s *Sim) sendImpaired(dg Datagram, pooled bool) {
 		s.faults.Duplicated++
 		s.obs.Inc(obs.CFaultDuplicated)
 		delay := s.cfg.Latency(cp.Src, cp.Dst, s.rng)
-		s.schedule(s.now+delay, event{kind: evDeliver, dg: cp, pooled: true})
+		if !s.routeExists(cp.Dst) {
+			s.noRoute(cp, true)
+			continue
+		}
+		s.schedule(s.now+delay, evPayload{kind: evDeliver, dg: cp, pooled: true})
 	}
 	if f.CorruptBit >= 0 && len(dg.Payload) > 0 {
 		if !pooled {
@@ -402,78 +493,194 @@ func (s *Sim) sendImpaired(dg Datagram, pooled bool) {
 		s.obs.Inc(obs.CFaultReordered)
 	}
 	delay := s.cfg.Latency(dg.Src, dg.Dst, s.rng) + f.ExtraDelay
-	s.schedule(s.now+delay, event{kind: evDeliver, dg: dg, pooled: pooled})
+	if !s.routeExists(dg.Dst) {
+		s.noRoute(dg, pooled)
+		return
+	}
+	s.schedule(s.now+delay, evPayload{kind: evDeliver, dg: dg, pooled: pooled})
 }
 
 // Step executes the next event. It returns false when the queue is empty.
+// It is the single-event reference implementation: StepBatch must be
+// observationally equivalent to a sequence of Step calls (pinned by
+// TestStepBatchEquivalence), differing only in HQueueDepth sampling
+// granularity. Terminal calls (empty queue, limit exceeded) return before
+// the queue-depth observation — an empty poll must not skew the histogram.
 func (s *Sim) Step() (bool, error) {
-	if s.cfg.MaxQueuedEvents > 0 && len(s.events) > s.cfg.MaxQueuedEvents {
+	if s.cfg.MaxQueuedEvents > 0 && s.queueLen() > s.cfg.MaxQueuedEvents {
 		return false, ErrEventQueueFull
 	}
-	if len(s.events) == 0 {
+	if s.queueLen() == 0 {
 		return false, nil
 	}
-	s.obs.Observe(obs.HQueueDepth, int64(len(s.events)))
-	ev := s.popEvent()
-	s.now = ev.at
-	switch ev.kind {
-	case evDeliver:
-		n, ok := s.Lookup(ev.dg.Dst)
-		if !ok && s.spawner != nil && s.spawner(ev.dg.Dst) {
-			n, ok = s.Lookup(ev.dg.Dst)
-		}
-		if !ok {
-			s.stats.NoRoute++
-			s.obs.Inc(obs.CSimNoRoute)
-			if ev.pooled {
-				s.putPayload(ev.dg.Payload)
-			}
-			return true, nil
-		}
-		s.stats.Delivered++
-		s.obs.Inc(obs.CSimDelivered)
-		n.host.HandleDatagram(n, ev.dg)
-		if ev.pooled {
-			s.putPayload(ev.dg.Payload)
-		}
-	case evTimer:
-		s.stats.Timers++
-		s.obs.Inc(obs.CSimTimers)
-		sl := &s.timers[ev.slot]
-		if sl.gen != ev.gen {
-			// Lazily deleted: Stop invalidated the slot; the popped event
-			// was its sole owner, so the slot is free for reuse now.
-			s.freeTimers = append(s.freeTimers, ev.slot)
-			return true, nil
-		}
-		fn := sl.fn
-		sl.fn = nil
-		sl.gen++
-		s.freeTimers = append(s.freeTimers, ev.slot)
-		// fn may arm new timers and grow s.timers; all slot bookkeeping is
-		// done before the call so reentrancy is safe.
-		fn()
+	s.obs.Observe(obs.HQueueDepth, int64(s.queueLen()))
+	at, p := s.popNext()
+	s.now = at
+	if p.kind == evDeliver {
+		s.deliverOne(p)
+	} else {
+		s.fireTimer(p)
 	}
 	return true, nil
 }
 
-// Run executes events until the queue drains or until the optional deadline
-// (a virtual time) is passed. A zero deadline means run to quiescence.
-func (s *Sim) Run(deadline time.Duration) error {
+// StepBatch drains every event sharing the head virtual timestamp in one
+// pass and returns how many it executed (0 on an empty queue). Events run
+// in exactly the (at, seq) order the sequential Step loop would use —
+// handlers that schedule new work at the same instant extend the batch, as
+// they would extend a sequence of Steps. Adjacent same-instant deliveries
+// to one destination are grouped so the host-table probe and, for
+// BatchHost implementations, the interface dispatch amortize. The queue
+// limit is still enforced per pop; HQueueDepth is sampled once per batch.
+func (s *Sim) StepBatch() (int, error) {
+	if s.cfg.MaxQueuedEvents > 0 && s.queueLen() > s.cfg.MaxQueuedEvents {
+		return 0, ErrEventQueueFull
+	}
+	if s.queueLen() == 0 {
+		return 0, nil
+	}
+	s.obs.Observe(obs.HQueueDepth, int64(s.queueLen()))
+	at := s.headAt()
+	s.now = at
+	n := 0
 	for {
-		if deadline > 0 && len(s.events) > 0 && s.events[0].at > deadline {
-			s.now = deadline
-			return nil
+		_, p := s.popNext()
+		if p.kind == evDeliver {
+			n += s.deliverGroup(at, p)
+		} else {
+			s.fireTimer(p)
+			n++
 		}
-		ok, err := s.Step()
-		if err != nil {
-			return err
+		if s.queueLen() == 0 || s.headAt() != at {
+			return n, nil
 		}
-		if !ok {
-			return nil
+		if s.cfg.MaxQueuedEvents > 0 && s.queueLen() > s.cfg.MaxQueuedEvents {
+			return n, ErrEventQueueFull
 		}
 	}
 }
+
+// deliverOne routes and delivers a single datagram — the reference delivery
+// path, shared by Step and by deliverGroup's host-table-change fallback.
+func (s *Sim) deliverOne(p evPayload) {
+	n, ok := s.Lookup(p.dg.Dst)
+	if !ok && s.spawner != nil && s.spawner(p.dg.Dst) {
+		n, ok = s.Lookup(p.dg.Dst)
+	}
+	if !ok {
+		s.stats.NoRoute++
+		s.obs.Inc(obs.CSimNoRoute)
+		if p.pooled {
+			s.putPayload(p.dg.Payload)
+		}
+		return
+	}
+	s.stats.Delivered++
+	s.obs.Inc(obs.CSimDelivered)
+	n.host.HandleDatagram(n, p.dg)
+	if p.pooled {
+		s.putPayload(p.dg.Payload)
+	}
+}
+
+// deliverGroup delivers p and any adjacent same-instant deliveries to the
+// same destination, resolving the host table once for the run. Only the
+// *adjacent* (in seq order) run is grouped — skipping over an interleaved
+// event would reorder execution relative to the sequential reference. The
+// epoch check detects a handler unregistering hosts mid-run, falling back
+// to the exact per-datagram path for the remainder.
+func (s *Sim) deliverGroup(at time.Duration, p evPayload) int {
+	dst := p.dg.Dst
+	n, ok := s.Lookup(dst)
+	if !ok && s.spawner != nil && s.spawner(dst) {
+		n, ok = s.Lookup(dst)
+	}
+	if !ok {
+		// No grouping on the dead-letter path: the sequential reference
+		// consults the spawner once per datagram.
+		s.stats.NoRoute++
+		s.obs.Inc(obs.CSimNoRoute)
+		if p.pooled {
+			s.putPayload(p.dg.Payload)
+		}
+		return 1
+	}
+	s.batchDg = append(s.batchDg[:0], p.dg)
+	s.batchPooled = append(s.batchPooled[:0], p.pooled)
+	for s.headDeliverTo(at, dst) {
+		_, q := s.popNext()
+		s.batchDg = append(s.batchDg, q.dg)
+		s.batchPooled = append(s.batchPooled, q.pooled)
+	}
+	k := len(s.batchDg)
+	if bh, isBatch := n.host.(BatchHost); isBatch && k > 1 {
+		s.stats.Delivered += uint64(k)
+		s.obs.Add(obs.CSimDelivered, uint64(k))
+		bh.HandleBatch(n, s.batchDg)
+		for i, pooled := range s.batchPooled {
+			if pooled {
+				s.putPayload(s.batchDg[i].Payload)
+			}
+		}
+		return k
+	}
+	epoch := s.epoch
+	for i := 0; i < k; i++ {
+		if s.epoch != epoch {
+			s.deliverOne(evPayload{dg: s.batchDg[i], pooled: s.batchPooled[i], kind: evDeliver})
+			continue
+		}
+		s.stats.Delivered++
+		s.obs.Inc(obs.CSimDelivered)
+		n.host.HandleDatagram(n, s.batchDg[i])
+		if s.batchPooled[i] {
+			s.putPayload(s.batchDg[i].Payload)
+		}
+	}
+	return k
+}
+
+// fireTimer runs a popped timer event through the generation discipline.
+func (s *Sim) fireTimer(p evPayload) {
+	s.stats.Timers++
+	s.obs.Inc(obs.CSimTimers)
+	sl := &s.timers[p.slot]
+	if sl.gen != p.gen {
+		// Lazily deleted: Stop invalidated the slot; the popped event
+		// was its sole owner, so the slot is free for reuse now.
+		s.freeTimers = append(s.freeTimers, p.slot)
+		return
+	}
+	fn := sl.fn
+	sl.fn = nil
+	sl.gen++
+	s.freeTimers = append(s.freeTimers, p.slot)
+	// fn may arm new timers and grow s.timers; all slot bookkeeping is
+	// done before the call so reentrancy is safe.
+	fn()
+}
+
+// Run executes events until the queue drains or until the optional deadline
+// (a virtual time) is passed. A zero deadline means run to quiescence. It
+// advances on the batched drain path; the deadline is checked per batch,
+// which is exact because a whole batch shares one timestamp.
+func (s *Sim) Run(deadline time.Duration) error {
+	for {
+		if s.queueLen() == 0 {
+			return nil
+		}
+		if deadline > 0 && s.headAt() > deadline {
+			s.now = deadline
+			return nil
+		}
+		if _, err := s.StepBatch(); err != nil {
+			return err
+		}
+	}
+}
+
+// RunUntilIdle drains the event queue completely on the batched path.
+func (s *Sim) RunUntilIdle() error { return s.Run(0) }
 
 // --- timers -------------------------------------------------------------
 
@@ -518,7 +725,7 @@ func (s *Sim) afterFunc(d time.Duration, fn func()) Timer {
 		s.timers = append(s.timers, timerSlot{fn: fn})
 	}
 	gen := s.timers[slot].gen
-	s.schedule(s.now+d, event{kind: evTimer, slot: slot, gen: gen})
+	s.schedule(s.now+d, evPayload{kind: evTimer, slot: slot, gen: gen})
 	return Timer{s: s, slot: slot, gen: gen}
 }
 
@@ -585,10 +792,10 @@ func (n *Node) After(d time.Duration, fn func()) Timer {
 
 // --- event queue --------------------------------------------------------
 
-// event is one entry of the simulation's priority queue.
-type event struct {
-	at   time.Duration
-	seq  uint64 // FIFO tie-break for equal timestamps: determinism
+// evPayload is the non-key part of a queued event. The (at, seq) sort keys
+// live in the heap's parallel arrays (or inline in the timer ring); the
+// payload sits in the evSlab arena and never moves during sifts.
+type evPayload struct {
 	dg   Datagram
 	slot int32  // timer slot (evTimer)
 	gen  uint32 // timer generation at scheduling time (evTimer)
@@ -604,66 +811,177 @@ const (
 	evTimer
 )
 
-func eventLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+// ringEntry is one timer in the monotone fast-path ring. Timers carry no
+// datagram, so the whole event fits inline — no slab indirection.
+type ringEntry struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+	gen  uint32
 }
 
-// schedule stamps ev with (at, seq) and pushes it onto the 4-ary heap. The
-// (at, seq) key is a total order, so the pop sequence — and with it the
-// whole run — is independent of the heap's internal layout.
-func (s *Sim) schedule(at time.Duration, ev event) {
-	ev.at = at
-	ev.seq = s.seq
+// ringCap bounds the timer ring (power of two; allocated lazily on the
+// first timer arm). 2048 covers the retransmission engine's worst in-flight
+// backlog at the calibration scales while staying cache-resident.
+const ringCap = 2048
+
+// queueLen returns the total number of queued events across heap and ring.
+func (s *Sim) queueLen() int { return len(s.heapAt) + int(s.ringLen) }
+
+// headAt returns the minimum queued timestamp. The queue must be non-empty.
+func (s *Sim) headAt() time.Duration {
+	if s.ringLen > 0 {
+		ra := s.ring[s.ringHead].at
+		if len(s.heapAt) == 0 || ra < s.heapAt[0] {
+			return ra
+		}
+		return s.heapAt[0]
+	}
+	return s.heapAt[0]
+}
+
+// headDeliverTo reports whether the next event to pop is a delivery at
+// instant `at` addressed to dst — the adjacency probe of the batched drain.
+func (s *Sim) headDeliverTo(at time.Duration, dst ipv4.Addr) bool {
+	if len(s.heapAt) == 0 || s.heapAt[0] != at {
+		return false
+	}
+	if s.ringLen > 0 {
+		// A ring timer at the same instant with a smaller seq pops first,
+		// breaking the adjacent run. (Its at can never be below the global
+		// minimum `at`.)
+		if r := &s.ring[s.ringHead]; r.at == at && r.seq < s.heapSeq[0] {
+			return false
+		}
+	}
+	p := &s.evSlab[s.heapRef[0]]
+	return p.kind == evDeliver && p.dg.Dst == dst
+}
+
+// schedule stamps ev with (at, seq) and enqueues it. The (at, seq) key is a
+// total order, so the pop sequence — and with it the whole run — is
+// independent of which structure (ring or heap) holds an event and of the
+// heap's internal layout. Timers try the monotone ring first.
+func (s *Sim) schedule(at time.Duration, ev evPayload) {
+	seq := s.seq
 	s.seq++
-	s.events = append(s.events, ev)
-	// Sift up.
-	e := s.events
-	i := len(e) - 1
+	if ev.kind == evTimer {
+		if s.ringPush(at, seq, ev.slot, ev.gen) {
+			s.qstats.RingTimers++
+			s.obs.Inc(obs.CSimTimerRing)
+			return
+		}
+		s.qstats.HeapTimers++
+		s.obs.Inc(obs.CSimTimerHeap)
+	}
+	var ref int32
+	if n := len(s.freeEv); n > 0 {
+		ref = s.freeEv[n-1]
+		s.freeEv = s.freeEv[:n-1]
+		s.evSlab[ref] = ev
+	} else {
+		ref = int32(len(s.evSlab))
+		s.evSlab = append(s.evSlab, ev)
+	}
+	s.heapPush(at, seq, ref)
+}
+
+// ringPush appends a timer to the ring when it fits and keeps the tail
+// monotone; it reports false (heap fallback) on overflow or when the
+// deadline regresses below the last accepted one. Ring order is strictly
+// increasing (at, seq) by construction, so popping its head is always
+// popping its minimum.
+func (s *Sim) ringPush(at time.Duration, seq uint64, slot int32, gen uint32) bool {
+	if s.ringLen > 0 {
+		if at < s.ringTailAt || s.ringLen == uint32(len(s.ring)) {
+			return false
+		}
+	} else if s.ring == nil {
+		s.ring = make([]ringEntry, ringCap)
+		s.ringMask = ringCap - 1
+	}
+	s.ring[(s.ringHead+s.ringLen)&s.ringMask] = ringEntry{at: at, seq: seq, slot: slot, gen: gen}
+	s.ringLen++
+	s.ringTailAt = at
+	return true
+}
+
+// heapPush inserts (at, seq, ref) into the SoA 4-ary heap, sifting up with
+// a hole: parents shift down and the new key is written once at its final
+// position.
+func (s *Sim) heapPush(at time.Duration, seq uint64, ref int32) {
+	s.heapAt = append(s.heapAt, at)
+	s.heapSeq = append(s.heapSeq, seq)
+	s.heapRef = append(s.heapRef, ref)
+	hAt, hSeq, hRef := s.heapAt, s.heapSeq, s.heapRef
+	i := len(hAt) - 1
 	for i > 0 {
-		p := (i - 1) / 4
-		if !eventLess(&e[i], &e[p]) {
+		p := (i - 1) >> 2
+		if hAt[p] < at || (hAt[p] == at && hSeq[p] < seq) {
 			break
 		}
-		e[i], e[p] = e[p], e[i]
+		hAt[i], hSeq[i], hRef[i] = hAt[p], hSeq[p], hRef[p]
 		i = p
 	}
+	hAt[i], hSeq[i], hRef[i] = at, seq, ref
 }
 
-// popEvent removes and returns the minimum event. The queue must be
-// non-empty.
-func (s *Sim) popEvent() event {
-	e := s.events
-	top := e[0]
-	n := len(e) - 1
-	e[0] = e[n]
-	e[n] = event{} // drop payload reference
-	e = e[:n]
-	s.events = e
-	// Sift down.
-	i := 0
-	for {
-		c := i*4 + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if eventLess(&e[j], &e[m]) {
-				m = j
+// heapPop removes and returns the heap minimum, freeing its slab slot. The
+// heap must be non-empty. Sift-down also uses the hole technique, and the
+// comparison loop touches only the key arrays — a node's four child keys
+// are contiguous.
+func (s *Sim) heapPop() (time.Duration, evPayload) {
+	hAt, hSeq, hRef := s.heapAt, s.heapSeq, s.heapRef
+	at := hAt[0]
+	ref := hRef[0]
+	n := len(hAt) - 1
+	if n > 0 {
+		lat, lseq, lref := hAt[n], hSeq[n], hRef[n]
+		i := 0
+		for {
+			c := i*4 + 1
+			if c >= n {
+				break
 			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if hAt[j] < hAt[m] || (hAt[j] == hAt[m] && hSeq[j] < hSeq[m]) {
+					m = j
+				}
+			}
+			if lat < hAt[m] || (lat == hAt[m] && lseq < hSeq[m]) {
+				break
+			}
+			hAt[i], hSeq[i], hRef[i] = hAt[m], hSeq[m], hRef[m]
+			i = m
 		}
-		if !eventLess(&e[m], &e[i]) {
-			break
-		}
-		e[i], e[m] = e[m], e[i]
-		i = m
+		hAt[i], hSeq[i], hRef[i] = lat, lseq, lref
 	}
-	return top
+	s.heapAt = hAt[:n]
+	s.heapSeq = hSeq[:n]
+	s.heapRef = hRef[:n]
+	p := s.evSlab[ref]
+	s.evSlab[ref].dg.Payload = nil // drop payload reference
+	s.freeEv = append(s.freeEv, ref)
+	return at, p
+}
+
+// popNext removes and returns the minimum event across ring and heap by
+// (at, seq). The queue must be non-empty.
+func (s *Sim) popNext() (time.Duration, evPayload) {
+	if s.ringLen > 0 {
+		r := &s.ring[s.ringHead]
+		if len(s.heapAt) == 0 || r.at < s.heapAt[0] || (r.at == s.heapAt[0] && r.seq < s.heapSeq[0]) {
+			at := r.at
+			p := evPayload{slot: r.slot, gen: r.gen, kind: evTimer}
+			s.ringHead = (s.ringHead + 1) & s.ringMask
+			s.ringLen--
+			return at, p
+		}
+	}
+	return s.heapPop()
 }

@@ -47,6 +47,11 @@ const (
 	CSynthProbes // probes synthesized through the analysis pipeline
 	CSynthBytes  // response wire bytes encoded
 
+	// Event-queue placement (internal/netsim, PR 6). Appended after the
+	// original set so existing snapshot orderings are unchanged.
+	CSimTimerRing // timer arms accepted by the monotone ring fast path
+	CSimTimerHeap // timer arms that fell back to the heap
+
 	NumCounters // array size; not a real counter
 )
 
@@ -76,6 +81,8 @@ var counterNames = [NumCounters]string{
 	CProbeReused:      "probe.reused",
 	CSynthProbes:      "synth.probes",
 	CSynthBytes:       "synth.bytes",
+	CSimTimerRing:     "sim.timer_ring",
+	CSimTimerHeap:     "sim.timer_heap",
 }
 
 // CounterName returns the stable dotted name of c.

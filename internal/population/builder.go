@@ -29,6 +29,10 @@ func (b *builder) build() error {
 	b.rng = rand.New(rand.NewSource(b.cfg.Seed ^ 0x706F70))
 	b.used = make(map[ipv4.Addr]bool)
 	y := b.cfg.Year
+	// Pre-size the cohort slice: construction emits roughly one cohort per
+	// unique payload, and letting a slice this large grow geometrically was
+	// the single biggest allocator in the whole campaign benchmark.
+	b.cohorts = make([]Cohort, 0, b.estimateCohorts())
 
 	ra := paperdata.RATable[y]
 	aa := paperdata.ReconciledAA(y)
@@ -103,6 +107,23 @@ func (b *builder) emit(c Cohort) {
 	b.cohorts = append(b.cohorts, c)
 }
 
+// estimateCohorts bounds the cohort count from the paper tables before any
+// streams are built: one cohort per unique payload (feed address, URL/TXT
+// name, tail IP) plus slack for the fixed-size classes and run splits at
+// cell boundaries. Appends past the estimate still work; the point is that
+// in practice they never happen.
+func (b *builder) estimateCohorts() int {
+	y := b.cfg.Year
+	n := 256 // correct / no-answer / empty-question cohorts, split slack
+	for _, cat := range paperdata.MalCategories {
+		n += int(paperdata.MaliciousTable[y][cat].IPs)
+	}
+	forms := paperdata.IncorrectFormsByYear[y]
+	n += int(forms.URL.Unique) + int(paperdata.ReconciledStrUnique(y))
+	_, tailUnique := paperdata.TailIPStats(y)
+	return n + int(tailUnique)
+}
+
 // joinCells runs the northwest-corner join of one class's RA and AA
 // marginals and flattens the 2×2 result in flagCells order.
 func joinCells(rows, cols [2]uint64) ([4]uint64, error) {
@@ -142,7 +163,11 @@ func (b *builder) maliciousCells(incorrCells [4]uint64) ([4]uint64, error) {
 func (b *builder) maliciousPayloadRuns() ([]run, error) {
 	y := b.cfg.Year
 	named := paperdata.NamedMalicious[y]
-	var runs []run
+	total := 0
+	for _, cat := range paperdata.MalCategories {
+		total += int(paperdata.MaliciousTable[y][cat].IPs)
+	}
+	runs := make([]run, 0, total)
 	for _, cat := range paperdata.MalCategories {
 		want := paperdata.MaliciousTable[y][cat]
 		addrs := b.feed.Addresses(cat)
@@ -150,7 +175,7 @@ func (b *builder) maliciousPayloadRuns() ([]run, error) {
 			return nil, fmt.Errorf("population: feed has %d %s addresses, want %d", len(addrs), cat, want.IPs)
 		}
 		budget := want.R2
-		var tail []ipv4.Addr
+		tail := make([]ipv4.Addr, 0, len(addrs))
 		for _, a := range addrs {
 			if n, ok := named[a.String()]; ok {
 				runs = append(runs, run{n: n, kind: behavior.AnswerFixed, addr: a, cat: cat})
@@ -227,14 +252,16 @@ func (b *builder) buildMalicious(cells [4]uint64) error {
 // form, then the synthetic IP long tail.
 func (b *builder) nonMalPayloadRuns() ([]run, error) {
 	y := b.cfg.Year
-	var runs []run
+	forms := paperdata.IncorrectFormsByYear[y]
+	strUniqueN := int(paperdata.ReconciledStrUnique(y))
+	_, tailUnique := paperdata.TailIPStats(y)
+	runs := make([]run, 0, 10+int(forms.URL.Unique)+strUniqueN+1+int(tailUnique))
 	for _, t := range paperdata.BenignTop10(y) {
 		addr := ipv4.MustParseAddr(t.Addr)
 		runs = append(runs, run{n: t.Count, kind: behavior.AnswerFixed, addr: addr})
 		b.used[addr] = true
 	}
 
-	forms := paperdata.IncorrectFormsByYear[y]
 	urlNames := syntheticNames("u.dcoin.co", "url%03d.redirect.example", int(forms.URL.Unique))
 	urlCounts, err := dist.SpreadUnique(forms.URL.Packets, len(urlNames))
 	if err != nil {
@@ -245,12 +272,11 @@ func (b *builder) nonMalPayloadRuns() ([]run, error) {
 	}
 
 	strNamed := []string{"wild", "ff", "OK", "04b400000000"}
-	strUnique := int(paperdata.ReconciledStrUnique(y))
-	strNames := append([]string{}, strNamed...)
-	for i := len(strNames); i < strUnique; i++ {
+	strNames := append(make([]string, 0, strUniqueN), strNamed...)
+	for i := len(strNames); i < strUniqueN; i++ {
 		strNames = append(strNames, fmt.Sprintf("str%02d", i))
 	}
-	strNames = strNames[:strUnique]
+	strNames = strNames[:strUniqueN]
 	strCounts, err := dist.SpreadUnique(forms.Str.Packets, len(strNames))
 	if err != nil {
 		return nil, fmt.Errorf("string form: %w", err)
@@ -263,7 +289,7 @@ func (b *builder) nonMalPayloadRuns() ([]run, error) {
 		runs = append(runs, run{n: forms.NA.Packets, kind: behavior.AnswerMalformed})
 	}
 
-	tailPackets, tailUnique := paperdata.TailIPStats(y)
+	tailPackets, _ := paperdata.TailIPStats(y)
 	tailCounts, err := dist.SpreadUnique(tailPackets, int(tailUnique))
 	if err != nil {
 		return nil, fmt.Errorf("ip tail: %w", err)

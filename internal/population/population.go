@@ -343,10 +343,16 @@ type run struct {
 // boundaries. The total run length must equal the total capacity.
 func splitStream(cells []uint64, runs []run) ([][]run, error) {
 	out := make([][]run, len(cells))
+	// All segments share one exactly-sized backing array: every inner-loop
+	// iteration either consumes a run or finishes a cell, so the segment
+	// count is bounded by len(runs)+len(cells) and per-cell append growth
+	// (quadratic bytes over four cells of a long stream) never happens.
+	flat := make([]run, 0, len(runs)+len(cells))
 	ri := 0
 	var used uint64 // consumed from runs[ri]
 	for ci, capacity := range cells {
 		need := capacity
+		cellStart := len(flat)
 		for need > 0 {
 			if ri >= len(runs) {
 				return nil, fmt.Errorf("population: stream underflow at cell %d (need %d more)", ci, need)
@@ -359,7 +365,7 @@ func splitStream(cells []uint64, runs []run) ([][]run, error) {
 			}
 			seg := r
 			seg.n = take
-			out[ci] = append(out[ci], seg)
+			flat = append(flat, seg)
 			need -= take
 			used += take
 			if used == r.n {
@@ -367,6 +373,7 @@ func splitStream(cells []uint64, runs []run) ([][]run, error) {
 				used = 0
 			}
 		}
+		out[ci] = flat[cellStart:len(flat):len(flat)]
 	}
 	if ri != len(runs) || used != 0 {
 		return nil, fmt.Errorf("population: stream overflow (%d runs unconsumed)", len(runs)-ri)

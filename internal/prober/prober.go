@@ -132,6 +132,22 @@ type Prober struct {
 	nameBuf []byte
 	rmsg    dnswire.Message
 	tickFn  func()
+
+	// Wire-template cache for the active cluster (ZDNS-style encoder
+	// reuse): tmplBuf concatenates one pre-encoded query per subdomain
+	// index — ID zeroed — and tmplOff[i]:tmplOff[i+1] bounds index i's
+	// template. sendOne copies the template into a pooled buffer and
+	// patches the 2-byte ID, replacing the per-probe name build + encode.
+	// An index whose name failed to encode (unencodable SLD) has an empty
+	// template; senders then replay the legacy error path. Rebuilt by
+	// refillCluster on every rotation.
+	tmplBuf []byte
+	tmplOff []int32
+
+	// Batched receive scratch (netsim.BatchHost): decoded messages and
+	// per-datagram decode verdicts for one delivery batch.
+	rmsgBatch []dnswire.Message
+	rmsgOK    []bool
 }
 
 type pendingName struct {
@@ -220,6 +236,7 @@ func (p *Prober) refillCluster(c int) {
 		}
 		p.retryq = p.retryq[:0]
 	}
+	p.buildTemplates(c)
 	if p.cfg.Auth != nil && c > 0 {
 		p.cfg.Auth.SetCluster(c)
 		// §III-B: loading 5M subdomains takes about a minute; the prober
@@ -231,6 +248,24 @@ func (p *Prober) refillCluster(c int) {
 // paperReloadPause mirrors dnssrv's reload window; kept as a constant here
 // so the prober does not reach into the server's internals.
 const paperReloadPause = time.Minute
+
+// buildTemplates pre-encodes every subdomain's query wire for cluster c
+// (ID left zero for patching at send time). Encoding happens eagerly, at
+// rotation time, so the steady-state send loop stays allocation-free. A
+// name that fails to encode gets an empty template (tmplOff[i] ==
+// tmplOff[i+1]); nothing is appended on failure because AppendQuery leaves
+// the destination length untouched when it errors.
+func (p *Prober) buildTemplates(c int) {
+	p.tmplBuf = p.tmplBuf[:0]
+	p.tmplOff = append(p.tmplOff[:0], 0)
+	for i := 0; i < p.cfg.ClusterSize; i++ {
+		p.nameBuf = dnssrv.AppendProbeName(p.nameBuf[:0], c, i, p.cfg.SLD)
+		if buf, err := dnswire.AppendQuery(p.tmplBuf, 0, p.nameBuf, dnswire.TypeA); err == nil {
+			p.tmplBuf = buf
+		}
+		p.tmplOff = append(p.tmplOff, int32(len(p.tmplBuf)))
+	}
+}
 
 // ClustersUsed returns how many clusters the campaign has consumed so far
 // (the §III-B "800 theoretical → 4 actual" metric).
@@ -378,20 +413,23 @@ func (p *Prober) sendOne(now time.Duration) bool {
 
 	idx := p.avail[len(p.avail)-1]
 	p.avail = p.avail[:len(p.avail)-1]
-	p.nameBuf = dnssrv.AppendProbeName(p.nameBuf[:0], p.cluster, idx, p.cfg.SLD)
 	id := p.nextID
 	p.nextID++
 	if p.nextID == 0 {
 		p.nextID = 1
 	}
-	wire, err := dnswire.AppendQuery(p.node.PayloadBuf(), id, p.nameBuf, dnswire.TypeA)
-	if err != nil {
-		// The name never hit the wire: return idx to the pool instead of
-		// leaking it (an unencodable SLD used to silently shrink every
-		// cluster by one subdomain per attempt).
+	off, end := p.tmplOff[idx], p.tmplOff[idx+1]
+	if off == end {
+		// The name never encoded (buildTemplates recorded the failure), so
+		// it never hits the wire: return idx to the pool instead of leaking
+		// it (an unencodable SLD used to silently shrink every cluster by
+		// one subdomain per attempt). The transaction ID is still consumed,
+		// matching the historical per-probe encode path.
 		p.avail = append(p.avail, idx)
 		return true
 	}
+	wire := append(p.node.PayloadBuf(), p.tmplBuf[off:end]...)
+	wire[0], wire[1] = byte(id>>8), byte(id)
 	p.node.SendPooled(target, p.srcPort, dnssrv.DNSPort, wire)
 	p.sent++
 	p.cfg.Obs.Inc(obs.CProbeSent)
@@ -442,18 +480,42 @@ func (p *Prober) LatencyPercentiles(pcts ...float64) []time.Duration {
 // HandleDatagram implements netsim.Host: every inbound packet on the probe
 // port is a candidate R2.
 func (p *Prober) HandleDatagram(n *netsim.Node, dg netsim.Datagram) {
+	// Decoding reuses the scratch message; nothing downstream retains it.
+	p.handleResponse(n, dg, &p.rmsg, dnswire.UnpackInto(&p.rmsg, dg.Payload) == nil)
+}
+
+// HandleBatch implements netsim.BatchHost: when the simulator delivers an
+// adjacent run of same-instant responses, the wire decode is driven over a
+// scratch-message batch first, then every response is processed in arrival
+// order — identical outcomes to per-datagram delivery, with the decode
+// loop's setup amortized across the run.
+func (p *Prober) HandleBatch(n *netsim.Node, dgs []netsim.Datagram) {
+	for len(p.rmsgBatch) < len(dgs) {
+		p.rmsgBatch = append(p.rmsgBatch, dnswire.Message{})
+		p.rmsgOK = append(p.rmsgOK, false)
+	}
+	for i := range dgs {
+		p.rmsgOK[i] = dnswire.UnpackInto(&p.rmsgBatch[i], dgs[i].Payload) == nil
+	}
+	for i := range dgs {
+		p.handleResponse(n, dgs[i], &p.rmsgBatch[i], p.rmsgOK[i])
+	}
+}
+
+// handleResponse is the R2 processing path shared by the single and batched
+// receive entry points; msg is the decoded payload when decoded is true.
+func (p *Prober) handleResponse(n *netsim.Node, dg netsim.Datagram, msg *dnswire.Message, decoded bool) {
 	p.received++
 	p.cfg.Obs.Inc(obs.CProbeRecv)
 	p.cfg.Log.AddR2(n.Now(), dg)
 	// Burn the subdomain so it is never reused (it may now be cached at
-	// the responding resolver) and record the response latency. Decoding
-	// reuses the scratch message; nothing below retains it.
-	if err := dnswire.UnpackInto(&p.rmsg, dg.Payload); err != nil {
+	// the responding resolver) and record the response latency.
+	if !decoded {
 		p.badPackets++ // e.g. corrupted in flight
 		p.cfg.Obs.Inc(obs.CProbeBad)
 		return
 	}
-	q, ok := p.rmsg.Question1()
+	q, ok := msg.Question1()
 	if !ok {
 		p.badPackets++
 		p.cfg.Obs.Inc(obs.CProbeBad)

@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"openresolver/internal/dnssrv"
-	"openresolver/internal/dnswire"
 	"openresolver/internal/obs"
 )
 
@@ -180,13 +179,15 @@ func (p *Prober) serveRetries(now time.Duration, budget float64) float64 {
 // reusing the original query ID, and re-arms its (backed-off) deadline.
 func (p *Prober) retransmit(idx int, now time.Duration) {
 	p.attempts[idx]++
-	p.nameBuf = dnssrv.AppendProbeName(p.nameBuf[:0], p.cluster, idx, p.cfg.SLD)
-	wire, err := dnswire.AppendQuery(p.node.PayloadBuf(), p.qid[idx], p.nameBuf, dnswire.TypeA)
-	if err != nil {
-		// The first transmission encoded, so this cannot fail; bail safely.
+	off, end := p.tmplOff[idx], p.tmplOff[idx+1]
+	if off == end {
+		// The first transmission encoded, so this cannot happen; bail safely.
 		p.giveUp(idx)
 		return
 	}
+	id := p.qid[idx]
+	wire := append(p.node.PayloadBuf(), p.tmplBuf[off:end]...)
+	wire[0], wire[1] = byte(id>>8), byte(id)
 	p.node.SendPooled(p.target[idx], p.srcPort, dnssrv.DNSPort, wire)
 	p.retransmits++
 	p.cfg.Obs.Inc(obs.CProbeRetransmits)

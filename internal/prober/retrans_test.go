@@ -236,6 +236,11 @@ func TestRetransmitAllocBudget(t *testing.T) {
 	p.node = w.sim.Register(proberAddr, p)
 	p.refillCluster(0)
 
+	// Probes to unoccupied addresses dead-letter at submission and never
+	// enter the event queue, so a no-op timer must advance the virtual
+	// clock past the retransmission deadlines (timer arm+fire is itself
+	// allocation-free, pinned by netsim's budget test).
+	tick := func() {}
 	iter := func() {
 		now := p.node.Now()
 		p.sweep(now)
@@ -243,8 +248,9 @@ func TestRetransmitAllocBudget(t *testing.T) {
 		if !p.sendOne(now) {
 			t.Fatal("send loop stalled")
 		}
-		// Drain every delivery (all NoRoute, payloads recycled) so the
-		// event queue and payload pool stay in steady state.
+		p.node.After(500*time.Microsecond, tick)
+		// Drain the queue (payloads recycle at submission on NoRoute) so
+		// the event core and payload pool stay in steady state.
 		for {
 			ok, err := w.sim.Step()
 			if err != nil {

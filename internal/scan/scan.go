@@ -68,14 +68,26 @@ func splitmix64(x uint64) uint64 {
 func (p *Permutation) Size() uint64 { return p.domain }
 
 // feistel applies the Feistel rounds on the doubled domain [0, 2^(2*half)).
+// The rounds are unrolled with the struct fields hoisted into locals: this
+// runs once per scanned candidate (hundreds of millions of calls at full
+// scale), and the unrolled form keeps every operand in registers instead of
+// re-loading through the receiver each iteration.
 func (p *Permutation) feistel(x uint64) uint64 {
-	l := x >> p.half & p.hmask
-	r := x & p.hmask
-	for _, k := range p.keys {
-		l, r = r, l^(splitmix64(r^k)&p.hmask)
-	}
-	return l<<p.half | r
+	half, hm := p.half, p.hmask
+	k := &p.keys
+	l := x >> half & hm
+	r := x & hm
+	l, r = r, l^(splitmix64(r^k[0])&hm)
+	l, r = r, l^(splitmix64(r^k[1])&hm)
+	l, r = r, l^(splitmix64(r^k[2])&hm)
+	l, r = r, l^(splitmix64(r^k[3])&hm)
+	l, r = r, l^(splitmix64(r^k[4])&hm)
+	l, r = r, l^(splitmix64(r^k[5])&hm)
+	return l<<half | r
 }
+
+// The unroll above covers exactly feistelRounds rounds.
+var _ = [1]struct{}{}[feistelRounds-6]
 
 // Apply maps x through the permutation. x must be < Size(); values outside
 // the domain are reduced modulo Size() to keep the function total.

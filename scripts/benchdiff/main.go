@@ -1,14 +1,22 @@
 // Command benchdiff gates benchmark regressions: it compares a fresh
 // bench2json document against one or more checked-in baselines
 // (BENCH_PR1.json, BENCH_PR2.json, ...) and exits nonzero when any common
-// benchmark got more than -max-ratio slower in ns/op, or allocates more
-// per op at all — the repo's hot paths are allocation-free by design, so
-// any allocs/op increase is a regression, not noise.
+// benchmark got more than -max-ratio slower in ns/op, or grew its
+// allocs/op beyond -alloc-ratio (default 1.0: any growth at all) — the
+// repo's hot paths are allocation-free by design, so for them any
+// allocs/op increase is a regression, not noise, and no positive
+// -alloc-ratio ever relaxes a zero-alloc baseline.
 //
 // Usage:
 //
 //	make bench BENCH_OUT=bench_fresh.json
 //	go run ./scripts/benchdiff -fresh bench_fresh.json BENCH_PR1.json BENCH_PR2.json
+//	go run ./scripts/benchdiff -fresh bench_fresh.json -newest BENCH_PR*.json
+//
+// With -newest, only the numerically highest BENCH_PR<n>.json among the
+// arguments is used as the baseline (non-matching arguments pass through),
+// so the makefile can glob the checked-in baselines instead of naming the
+// latest one by hand.
 //
 // Baselines may be plain bench2json documents or the {"before","after"}
 // pair BENCH_PR2.json records; the "after" side is the baseline. Repeated
@@ -25,7 +33,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 )
 
 func main() {
@@ -94,6 +105,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	freshPath := fs.String("fresh", "", "fresh bench2json document to gate (required)")
 	maxRatio := fs.Float64("max-ratio", 1.25, "fail when fresh ns/op exceeds baseline × this ratio")
+	allocRatio := fs.Float64("alloc-ratio", 1.0, "fail when fresh allocs/op exceeds baseline × this ratio (1.0 = any growth fails; a zero-alloc baseline always fails on growth)")
+	newest := fs.Bool("newest", false, "of the BENCH_PR<n>.json baselines given, keep only the highest n")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -103,11 +116,56 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *freshPath == "" {
 		return errors.New("-fresh is required")
 	}
-	if fs.NArg() == 0 {
+	baselines := fs.Args()
+	if *newest {
+		var err error
+		if baselines, err = selectNewest(baselines); err != nil {
+			return err
+		}
+	}
+	return gate(*freshPath, *maxRatio, *allocRatio, baselines, stdout)
+}
+
+// benchPRPattern matches checked-in per-PR baselines (BENCH_PR3.json).
+var benchPRPattern = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// selectNewest filters the baseline list for -newest: of the arguments whose
+// basename matches BENCH_PR<n>.json, only the numerically highest n survives
+// (the glob BENCH_PR*.json can then be passed without hand-updating the
+// makefile each PR). Arguments that don't match the pattern pass through
+// untouched. It is an error if no argument matches — a silent empty
+// selection would skip the gate entirely.
+func selectNewest(paths []string) ([]string, error) {
+	bestN := -1
+	best := ""
+	var rest []string
+	for _, p := range paths {
+		m := benchPRPattern.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			rest = append(rest, p)
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if n > bestN {
+			bestN, best = n, p
+		}
+	}
+	if bestN < 0 {
+		return nil, errors.New("-newest: no BENCH_PR<n>.json baseline among arguments")
+	}
+	return append(rest, best), nil
+}
+
+// gate runs the comparison of fresh against the merged baselines.
+func gate(freshPath string, maxRatio, allocRatio float64, baselinePaths []string, stdout io.Writer) error {
+	if len(baselinePaths) == 0 {
 		return errors.New("no baseline files given")
 	}
 
-	freshDoc, err := loadDoc(*freshPath)
+	freshDoc, err := loadDoc(freshPath)
 	if err != nil {
 		return err
 	}
@@ -116,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Merge every baseline; on a name collision the *newest* file (last on
 	// the command line) wins, matching how successive PRs re-baseline.
 	base := make(map[string]map[string]float64)
-	for _, path := range fs.Args() {
+	for _, path := range baselinePaths {
 		doc, err := loadDoc(path)
 		if err != nil {
 			return err
@@ -148,12 +206,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ratio = fNs / bNs
 		}
 		verdict := "ok"
-		if bNs > 0 && ratio > *maxRatio {
-			verdict = fmt.Sprintf("FAIL ns/op +%.0f%% (limit +%.0f%%)", 100*(ratio-1), 100*(*maxRatio-1))
+		if bNs > 0 && ratio > maxRatio {
+			verdict = fmt.Sprintf("FAIL ns/op +%.0f%% (limit +%.0f%%)", 100*(ratio-1), 100*(maxRatio-1))
 			failures = append(failures, name+": "+verdict)
 		}
 		if bA, ok := base[name]["allocs/op"]; ok {
-			if fA, ok := f["allocs/op"]; ok && fA > bA {
+			// The tolerance is relative, so a zero-alloc baseline stays
+			// strict: the hot paths pinned at 0 allocs fail on any growth,
+			// while campaign-scale counts absorb ±1–2 of per-iteration
+			// rounding jitter against the min-collapsed baseline.
+			if fA, ok := f["allocs/op"]; ok && fA > bA*allocRatio {
 				av := fmt.Sprintf("FAIL allocs/op %.0f -> %.0f", bA, fA)
 				if verdict == "ok" {
 					verdict = av
@@ -181,7 +243,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(failures) > 0 {
 		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(failures), joinLines(failures))
 	}
-	fmt.Fprintf(stdout, "\nbenchdiff: %d benchmarks within limits (max ns/op ratio %.2f, no alloc growth)\n", compared, *maxRatio)
+	fmt.Fprintf(stdout, "\nbenchdiff: %d benchmarks within limits (max ns/op ratio %.2f, no alloc growth)\n", compared, maxRatio)
 	return nil
 }
 

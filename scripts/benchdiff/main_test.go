@@ -99,6 +99,27 @@ func TestBenchdiffAllocRegression(t *testing.T) {
 	}
 }
 
+func TestBenchdiffAllocRatioFlag(t *testing.T) {
+	// A's baseline collapses to 5 allocs; 6 is +20%, beyond the 10% slack,
+	// so it still fails — but B (zero-alloc baseline) must fail on ANY
+	// growth no matter how generous the ratio.
+	if out, err := runDiff(t, fresh(1000, 6, 2000, 3000), "-alloc-ratio", "1.1"); err == nil {
+		t.Fatalf("expected A's +20%% allocs to fail at -alloc-ratio 1.1\n%s", out)
+	}
+	if out, err := runDiff(t, fresh(1000, 5.5, 2000, 3000), "-alloc-ratio", "1.1"); err != nil {
+		t.Fatalf("expected A's +10%% allocs to pass at -alloc-ratio 1.1, got %v\n%s", err, out)
+	}
+	zeroGrew := `{"benchmarks": [
+  {"name": "BenchmarkA", "metrics": {"ns/op": 1000, "allocs/op": 5}},
+  {"name": "BenchmarkB", "metrics": {"ns/op": 2000, "allocs/op": 1}},
+  {"name": "BenchmarkC", "metrics": {"ns/op": 3000, "allocs/op": 2}}
+]}`
+	out, err := runDiff(t, zeroGrew, "-alloc-ratio", "100")
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkB") {
+		t.Fatalf("zero-alloc baseline must stay strict under any ratio, got %v\n%s", err, out)
+	}
+}
+
 func TestBenchdiffMaxRatioFlag(t *testing.T) {
 	// +30% passes when the gate is loosened to 1.5.
 	if out, err := runDiff(t, fresh(1300, 5, 2000, 3000), "-max-ratio", "1.5"); err != nil {
@@ -112,6 +133,50 @@ func TestBenchdiffPairBaseline(t *testing.T) {
 	out, err := runDiff(t, fresh(1000, 5, 2000, 4000))
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkC") {
 		t.Fatalf("expected BenchmarkC regression vs the after side, got %v\n%s", err, out)
+	}
+}
+
+func TestSelectNewest(t *testing.T) {
+	got, err := selectNewest([]string{
+		"ci/BENCH_PR2.json", "extra.json", "BENCH_PR10.json", "BENCH_PR9.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "extra.json BENCH_PR10.json" // pass-through first, then the newest
+	if strings.Join(got, " ") != want {
+		t.Errorf("selectNewest = %v, want %q", got, want)
+	}
+	if _, err := selectNewest([]string{"extra.json"}); err == nil {
+		t.Error("selectNewest with no BENCH_PR file: want error, got nil")
+	}
+}
+
+func TestBenchdiffNewestFlag(t *testing.T) {
+	// PR1 baselines BenchmarkA at 10 ns; PR2 re-baselines it at 1000 ns.
+	// With -newest only PR2 applies, so a 1000 ns fresh run passes; without
+	// it the merge order (PR2 listed before PR1) leaves PR1 winning, a 100×
+	// regression.
+	dir := t.TempDir()
+	freshPath := writeJSON(t, dir, "fresh.json",
+		`{"benchmarks": [{"name": "BenchmarkA", "metrics": {"ns/op": 1000, "allocs/op": 5}}]}`)
+	pr1 := writeJSON(t, dir, "BENCH_PR1.json",
+		`{"benchmarks": [{"name": "BenchmarkA", "metrics": {"ns/op": 10, "allocs/op": 5}}]}`)
+	pr2 := writeJSON(t, dir, "BENCH_PR2.json",
+		`{"benchmarks": [{"name": "BenchmarkA", "metrics": {"ns/op": 1000, "allocs/op": 5}}]}`)
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-fresh", freshPath, "-newest", pr2, pr1}, &out, &errb); err != nil {
+		t.Fatalf("-newest run failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-fresh", freshPath, pr2, pr1}, &out, &errb); err == nil {
+		t.Fatalf("without -newest the stale PR1 baseline should fail the gate\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-fresh", freshPath, "-newest", freshPath}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "no BENCH_PR") {
+		t.Errorf("-newest with no matching baseline: err = %v, want no-BENCH_PR error", err)
 	}
 }
 
