@@ -9,6 +9,7 @@
 #   make bench      campaign benchmarks, recorded as BENCH_PR1.json
 #   make bench-sim  simulated-campaign + event-core benchmarks (BENCH_PR2 set)
 #   make bench-batch batched-drain benchmarks: StepBatch vs Step (PR3 set)
+#   make bench-sim-par parallel vs serial sharded campaigns (BENCH_PR4.json)
 #   make profile    bench-sim under -cpuprofile/-memprofile for pprof
 #                   (PROFILE_PKG / PROFILE_BENCH select other suites)
 #   make cover      test suite with coverage profile + per-function summary
@@ -36,7 +37,7 @@ SMOKE_DIR ?= smoke-out
 # TestSweepGoldenCell pin. Re-derive by running the smoke grid and reading
 # cells[0].digest from the matrix JSON if a change legitimately re-baselines
 # the campaign bytes.
-SMOKE_BASELINE := 5c749ccd942b9413e4369765c5b28423c0678dc6910e2521c6fceb5b66623278
+SMOKE_BASELINE := d19bd873ab802eecb15921fb73145c7ca0ae4b5eed4d5b6aa670791ad1557d47
 
 .PHONY: all build test chaos race vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke ci
 
@@ -58,16 +59,18 @@ chaos:
 	$(GO) test -count=1 -run 'TestChaos|TestFaultGolden' ./internal/core/ \
 		-v -timeout 10m
 
-# The parallel synthesis engine and the accumulator merge are the only
-# concurrent paths; -race over their packages keeps the gate fast while
-# covering every goroutine the repo spawns. The event core, prober and DNS
-# engines are single-threaded by design — -race over them guards against a
-# future change accidentally introducing shared state (the retransmission
-# timers and fault pipeline all run on the simulator's virtual clock).
+# The concurrent paths: the parallel synthesis engine, the sharded
+# simulation fan-out (worker pool over private sub-simulations, DESIGN.md
+# §12), the accumulator/stats merges, and the sweep's cell pool. Each
+# netsim.Sim, prober and DNS engine is single-threaded by design — -race
+# over them guards against a future change accidentally sharing state
+# across sub-simulations (everything a shard touches after spawn must be
+# private or read-only; the worker-equivalence tests pin the bytes, this
+# gate pins the memory model).
 race:
 	$(GO) test -race ./internal/core/... ./internal/analysis/... \
 		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/sweep/...
 
 vet:
 	$(GO) vet ./...
@@ -92,6 +95,13 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'CampaignSimulated' -benchmem -count $(BENCH_COUNT) .
 	$(GO) test -run '^$$' -bench 'EventThroughput|TimerEnqueueDequeue|HostLookup' \
 		-benchmem -count $(BENCH_COUNT) ./internal/netsim
+
+# The sharded simulation head-to-head: the default parallel campaign
+# (Workers=0, one goroutine per core) against the pinned serial schedule
+# (Workers=1). Records the PR4 baseline consumed by make benchdiff.
+bench-sim-par:
+	$(GO) test -run '^$$' -bench 'CampaignSimulated(Serial)?20' -benchmem -count $(BENCH_COUNT) . \
+		| tee /dev/stderr | $(GO) run ./scripts/bench2json > BENCH_PR4.json
 
 # The batched event-core drains head-to-head: the same fan-out workload
 # through the single-event Step loop and the same-timestamp StepBatch drain.

@@ -443,11 +443,28 @@ func BenchmarkCampaignSimulated2018(b *testing.B) {
 	benchCampaignSimulated(b, paperdata.Y2018)
 }
 
+// BenchmarkCampaignSimulatedSerial2013 and ...2018 pin the Workers=1 path
+// of the same campaigns (the pre-shard engine's schedule) so the sharded
+// fan-out's speedup — and its single-core overhead — are both visible in
+// the BENCH_PR4.json baseline.
+func BenchmarkCampaignSimulatedSerial2013(b *testing.B) {
+	benchCampaignSimulatedWorkers(b, paperdata.Y2013, 1)
+}
+
+func BenchmarkCampaignSimulatedSerial2018(b *testing.B) {
+	benchCampaignSimulatedWorkers(b, paperdata.Y2018, 1)
+}
+
 func benchCampaignSimulated(b *testing.B, y paperdata.Year) {
+	b.Helper()
+	benchCampaignSimulatedWorkers(b, y, 0)
+}
+
+func benchCampaignSimulatedWorkers(b *testing.B, y paperdata.Year, workers int) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ds, err := core.RunSimulation(core.Config{Year: y, SampleShift: 14, Seed: int64(i)})
+		ds, err := core.RunSimulation(core.Config{Year: y, SampleShift: 14, Seed: int64(i), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

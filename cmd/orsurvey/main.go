@@ -56,7 +56,7 @@ func run(args []string, stderr io.Writer) error {
 	shift := fs.Uint("shift", 0, "sample shift: scale to 1/2^shift (sim mode needs ≥6)")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
-	workers := fs.Int("workers", 0, "synthetic-mode worker goroutines (0 = all cores, 1 = serial)")
+	workers := fs.Int("workers", 0, "campaign worker goroutines, both modes (0 = all cores, 1 = serial; output is identical for every value)")
 	capturePath := fs.String("capture", "", "write the R2 capture log to this file (sim mode)")
 	lossModel := fs.String("loss-model", "", `network impairment spec (sim mode), e.g. "ge:0.05,0.2,0.125,1;dup:0.1;reorder:0.2,40ms"`)
 	retries := fs.Int("retries", 0, "per-probe retransmission budget (sim mode; 0 = the paper's single-shot prober)")

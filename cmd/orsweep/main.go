@@ -66,14 +66,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.Var(&years, "year", "year axis value (repeatable): 2013, 2018, or fractional like 2015.5")
 	fs.Var(&losses, "loss", `impairment axis value (repeatable): "none" or a netsim spec like "ge:0.05,0.2,0.125,1"`)
 	fs.Var(&retries, "retry", `retry axis value (repeatable): "<budget>[+adaptive][+backoff]", e.g. 0 or 5+adaptive`)
-	fs.Var(&cellWorkers, "cell-workers", "worker-count axis value (repeatable; scales synth cells)")
+	fs.Var(&cellWorkers, "cell-workers", "per-campaign worker axis value (repeatable; both modes — capped so cells × workers stays at the -workers pool bound)")
 	specPath := fs.String("spec", "", "read the grid from this spec file (axis flags override its axes)")
 	mode := fs.String("mode", "", "campaign engine: sim (default) or synth")
 	shift := fs.Uint("shift", 0, "sample shift: scale every cell to 1/2^shift (default 14)")
 	seed := fs.Int64("seed", 0, "deterministic seed shared by every cell (default 1)")
 	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
 	maxEvents := fs.Int("max-events", 0, "per-cell event queue bound (sim; default 2^21)")
-	poolWorkers := fs.Int("workers", 0, "cells running concurrently (0 = all cores)")
+	poolWorkers := fs.Int("workers", 0, "cells running concurrently (0 = all cores); also the budget per-cell workers are capped against")
 	outDir := fs.String("out", "", "write one JSON artifact per completed cell into this directory")
 	resume := fs.Bool("resume", false, "skip cells whose completed artifact already exists in -out")
 	jsonPath := fs.String("json", "", `write the matrix as JSON to this file ("-" = stdout)`)

@@ -46,7 +46,7 @@ func run(args []string, stderr io.Writer) error {
 	epochs := fs.Int("epochs", 6, "monitoring epochs between the 2013 and 2018 snapshots")
 	shift := fs.Uint("shift", 10, "sample shift: scale each campaign to 1/2^shift")
 	seed := fs.Int64("seed", 1, "deterministic seed")
-	workers := fs.Int("workers", 0, "worker goroutines per campaign (0 = all cores, 1 = serial)")
+	workers := fs.Int("workers", 0, "worker goroutines per campaign, both modes (0 = all cores, 1 = serial; output is identical for every value)")
 	mode := fs.String("mode", "synth", "campaign engine per epoch: synth or sim")
 	lossModel := fs.String("loss-model", "", `network impairment spec (sim mode), e.g. "ge:0.05,0.2,0.125,1;dup:0.1"`)
 	retries := fs.Int("retries", 0, "per-probe retransmission budget (sim mode; 0 = single-shot)")

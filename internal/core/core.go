@@ -50,24 +50,28 @@ type Config struct {
 	PacketsPerSec uint64
 	// KeepPackets retains raw R2 packets in the dataset (simulation mode).
 	KeepPackets bool
-	// Workers sets the parallelism of the synthetic engine: the population
-	// is split into contiguous probe-index shards, each processed by one
-	// worker against its own accumulator, and the shard accumulators are
-	// merged in shard order. 0 uses runtime.GOMAXPROCS(0); 1 is the legacy
-	// serial path. The report is identical for every value — the shards are
-	// seeded with prefix-sum-derived cursors so each worker produces exactly
-	// the probes the serial loop would (see DESIGN.md §2). Simulation mode
-	// ignores Workers: the discrete-event network is inherently sequential.
+	// Workers sets the campaign's parallelism. Synthetic mode splits the
+	// population into contiguous probe-index shards, each processed by one
+	// worker against its own accumulator, with the shard accumulators
+	// merged in shard order (prefix-sum-seeded assigner cursors; DESIGN.md
+	// §2). Simulation mode schedules the campaign's fixed set of private
+	// sub-simulations — contiguous probe-range shards with disjoint
+	// subdomain-cluster namespaces and proportional rate slices (DESIGN.md
+	// §12) — over a pool of Workers goroutines. In both modes the
+	// decomposition is a function of the configuration alone, so the report
+	// is byte-identical for every value. 0 uses runtime.GOMAXPROCS(0); 1
+	// runs serially.
 	Workers int
 	// Faults configures adverse-network fault injection and the adaptive
 	// retransmission machinery (simulation mode only; the zero value is a
 	// pristine network with the paper's single-shot prober).
 	Faults FaultPlan
 	// Obs, when non-nil, receives the campaign's observability stream:
-	// phase spans for every stage, one metrics shard per worker (the
-	// single-threaded simulator counts as one), and the virtual-vs-wall
-	// clock ratio. Metrics never influence the campaign — reports are
-	// bit-identical with Obs attached (pinned by the metrics golden test).
+	// phase spans for every stage, one metrics shard per worker (in
+	// simulation mode, one per sub-simulation, registered in shard order),
+	// and the virtual-vs-wall clock ratio. Metrics never influence the
+	// campaign — reports are bit-identical with Obs attached (pinned by
+	// the metrics golden test).
 	Obs *obs.Registry
 }
 
@@ -477,9 +481,13 @@ func RunSimulation(cfg Config) (*Dataset, error) {
 // SimulatePopulation executes an arbitrary compiled population on the
 // discrete-event network — the simulation-mode mirror of
 // SynthesizePopulation, and like it usable with mixed populations and
-// merged threat feeds (drift monitoring). cfg.Faults applies here: the
-// network is built with the plan's impairments and the prober and resolver
-// population get its retransmission knobs.
+// merged threat feeds (drift monitoring). cfg.Faults applies here: each
+// sub-simulation's network is built with the plan's impairments (stateful
+// pipelines forked per shard) and the prober and resolver population get
+// its retransmission knobs. The campaign runs as a fixed set of private
+// sub-simulations scheduled over cfg.Workers goroutines and merged in
+// shard order (simshard.go); the merged dataset is byte-identical for
+// every worker count.
 func SimulatePopulation(cfg Config, pop *population.Population, threat *threatintel.DB) (*Dataset, error) {
 	if cfg.SampleShift < 6 {
 		return nil, fmt.Errorf("core: simulation mode needs SampleShift ≥ 6 (got %d); use RunSynthetic for full scale", cfg.SampleShift)
@@ -497,37 +505,14 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	}
 	tr.End(sp)
 
-	sim := netsim.New(netsim.Config{
-		Seed:            cfg.Seed,
-		Latency:         netsim.UniformLatency(10*time.Millisecond, 80*time.Millisecond),
-		Impairments:     cfg.Faults.Impairments,
-		MaxQueuedEvents: cfg.Faults.MaxQueuedEvents,
-	})
-
-	// The DNS hierarchy of Fig. 1 with the tcpdump tap of Fig. 2.
-	authLog := capture.NewAuthLog()
-	authLog.Keep = cfg.KeepPackets
-	dnssrv.NewReferralServer(sim, RootAddr, []dnssrv.Referral{
-		{Zone: "net", NSName: "a.gtld-servers.net", Addr: TLDAddr},
-	})
-	dnssrv.NewReferralServer(sim, TLDAddr, []dnssrv.Referral{
-		{Zone: paperdata.SLD, NSName: "ns1." + paperdata.SLD, Addr: AuthAddr},
-	})
-	auth := dnssrv.NewAuthServer(sim, dnssrv.AuthConfig{
-		Addr: AuthAddr, SLD: paperdata.SLD,
-		ClusterSize: cfg.scaledClusterSize(),
-		ReloadTime:  paperdata.ClusterReloadTime,
-		Tap:         authLog,
-	})
-
-	// The resolver population, instantiated lazily. The assigner walk — and
-	// with it every address draw — is identical to the old eager
-	// construction, but only a cohort index is recorded per address; the
-	// Resolver host itself (and its recursion engine) materializes when its
-	// first packet arrives, via the spawner hook. Addresses the campaign
-	// never reaches (skipped sends, lost probes) are never built, and since
-	// NewResolver draws no randomness and delivery accounting is unchanged,
-	// the run is bit-identical to eager registration.
+	// The resolver population's address plan. The assigner walk — and with
+	// it every address draw — is identical to the old eager construction,
+	// but only a cohort index is recorded per address; the Resolver host
+	// itself (and its recursion engine) materializes inside the shard that
+	// first reaches the address, via each sub-simulation's spawner hook.
+	// Addresses the campaign never reaches (skipped sends, lost probes) are
+	// never built. The index is written once here and only read during the
+	// fan-out, so every shard shares it without synchronization.
 	sp = tr.Begin("population-place")
 	cohortOf := newAddrIndex(int(pop.ExpectedR2))
 	for ci, cohort := range pop.Cohorts {
@@ -540,92 +525,54 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 		}
 	}
 	tr.End(sp)
-	var tune func(*dnssrv.Recursive)
-	if cfg.Faults.UpstreamBackoff {
-		tune = func(rec *dnssrv.Recursive) { rec.Backoff, rec.Jitter = true, true }
-	}
-	sim.SetSpawner(func(addr ipv4.Addr) bool {
-		ci, ok := cohortOf.get(addr)
-		if !ok {
-			return false
-		}
-		behavior.NewResolverTuned(sim, addr, RootAddr, pop.Cohorts[ci].Profile, tune)
-		return true
-	})
 
-	// The analysis pipeline, fed live from the prober's capture log.
-	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg})
-	probeLog := capture.NewProbeLog()
-	probeLog.Keep = cfg.KeepPackets
-	probeLog.Sink = func(p capture.Packet) { acc.AddR2(p.Src, p.Payload) }
-
-	// One metrics shard covers the whole simulation: the discrete-event
-	// network is single-threaded, so the simulator and the prober share it.
-	sh := cfg.Obs.NewShard("sim")
-	sim.SetObserver(sh)
-
-	// Skip runs once per scanned candidate; four address compares beat a
-	// map probe on that path (and draw no hash state).
-	skipInfra := func(a ipv4.Addr) bool {
-		return a == ProberAddr || a == RootAddr || a == TLDAddr || a == AuthAddr
-	}
-	pr, err := prober.Start(sim, prober.Config{
-		Addr:            ProberAddr,
-		Universe:        u,
-		SLD:             paperdata.SLD,
-		ClusterSize:     cfg.scaledClusterSize(),
-		PacketsPerSec:   cfg.pps(),
-		Timeout:         2 * time.Second,
-		Retries:         cfg.Faults.Retries,
-		AdaptiveTimeout: cfg.Faults.AdaptiveTimeout,
-		SendSkip:        cfg.sendSkip(),
-		Auth:            auth,
-		Log:             probeLog,
-		Obs:             sh,
-		Skip:            skipInfra,
-	})
-	if err != nil {
-		return nil, err
+	shards := planSimShards(cfg, u)
+	// Metrics shards are registered here, in shard order, so the snapshot's
+	// shard list is deterministic regardless of goroutine scheduling.
+	obsShards := make([]*obs.Shard, len(shards))
+	for i := range shards {
+		obsShards[i] = cfg.Obs.NewShard(fmt.Sprintf("sim-%d", i))
 	}
 
+	env := &simEnv{cfg: cfg, pop: pop, threat: threat, reg: reg, u: u, cohortOf: cohortOf}
+	runs := make([]*simShardRun, len(shards))
+	errs := make([]error, len(shards))
 	sp = tr.Begin("simulate")
-	wallStart := time.Now()
-	if err := sim.Run(0); err != nil {
-		return nil, err
+	workers := cfg.workers()
+	if workers > len(shards) {
+		workers = len(shards)
 	}
-	if sh != nil {
-		// Virtual-vs-wall clock ratio: how much simulated time each wall
-		// second buys. Stored as two mergeable counters; consumers divide.
-		sh.Add(obs.CSimWallNanos, uint64(time.Since(wallStart)))
-		sh.Add(obs.CSimVirtualNanos, uint64(sim.Now()))
+	if workers <= 1 {
+		for i, sh := range shards {
+			runs[i], errs[i] = runSimShard(env, sh, obsShards[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runs[i], errs[i] = runSimShard(env, shards[i], obsShards[i])
+				}
+			}()
+		}
+		for i := range shards {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
 	tr.End(sp)
-	if !pr.Done() {
-		return nil, fmt.Errorf("core: simulation quiesced before the prober finished")
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sp = tr.Begin("report")
-	authC := authLog.Counters()
-	camp := analysis.CampaignCounts{
-		Q1: pr.Sent(), Q2: authC.Q2, R1: authC.R1, R2: probeLog.Counters().R2,
-		Duration:      pr.Duration(),
-		PacketsPerSec: cfg.pps(),
-		SampleShift:   cfg.SampleShift,
-	}
-	ds := &Dataset{
-		Config:           cfg,
-		Report:           acc.Report(camp),
-		Population:       pop,
-		ClustersUsed:     pr.ClustersUsed(),
-		SubdomainsReused: pr.Reused(),
-		NetStats:         sim.Stats(),
-		FaultStats:       sim.FaultStats(),
-		ProbeStats:       pr.Stats(),
-		R2Packets:        probeLog.R2(),
-	}
-	if cfg.KeepPackets {
-		ds.Roles = classify.Classify(probeLog.R2(), authLog.Packets())
-	}
+	ds := mergeSimShards(cfg, pop, runs)
 	tr.End(sp)
 	return ds, nil
 }

@@ -12,7 +12,10 @@
 //     at SampleShift ≥ 6; a full-scale simulation would need millions of
 //     live hosts. Config.Faults applies here: the network is built with
 //     the plan's impairments and the prober and resolver population get
-//     its retransmission knobs (DESIGN.md §8).
+//     its retransmission knobs (DESIGN.md §8). The campaign decomposes
+//     into a fixed set of private sub-simulations scheduled over
+//     Config.Workers goroutines and merged in shard order — byte-identical
+//     for every worker count (DESIGN.md §12).
 //
 //   - RunSynthetic streams the population's responses directly into the
 //     analysis pipeline as encoded wire packets, in constant memory, which

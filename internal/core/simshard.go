@@ -1,0 +1,309 @@
+package core
+
+// This file is the sharded simulation engine (DESIGN.md §12). One simulated
+// campaign is decomposed into a fixed set of deterministic sub-campaigns:
+// contiguous slices of the probe-order index space, each executed on a fully
+// private discrete-event network — its own netsim.Sim (heap, timer ring,
+// host table, payload pools), DNS hierarchy, prober with a proportional
+// slice of the send rate, fault pipeline forked from the plan, and private
+// analysis.Accumulator — then merged in shard order. The decomposition is a
+// pure function of the Config (never of Workers or GOMAXPROCS), so the
+// merged dataset is byte-identical for every worker count: Workers only
+// chooses how many sub-simulations run concurrently.
+
+import (
+	"fmt"
+	"time"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/behavior"
+	"openresolver/internal/capture"
+	"openresolver/internal/classify"
+	"openresolver/internal/dnssrv"
+	"openresolver/internal/geo"
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/population"
+	"openresolver/internal/prober"
+	"openresolver/internal/scan"
+	"openresolver/internal/threatintel"
+)
+
+// simMaxShards caps the campaign decomposition. Sixteen sub-simulations
+// saturate the machines this targets while keeping the per-shard fixed cost
+// (servers, templates, heap) negligible against the event stream.
+const simMaxShards = 16
+
+// simShard is one slice of the campaign: probe-order positions
+// [start, end), probed at pps packets per second against the shard's own
+// disjoint subdomain-cluster namespace [firstCluster, firstCluster+clusterSpan).
+type simShard struct {
+	index        int
+	start, end   uint64
+	firstCluster int
+	clusterSpan  int
+	pps          uint64
+}
+
+// simShardCount returns the campaign's shard count: simMaxShards, bounded
+// by the send rate (every shard's token bucket needs at least 1 pps) and
+// the universe size (every shard needs at least one probe position). It
+// depends on the configuration alone — never on Workers — which is what
+// makes the merged report machine-independent.
+func simShardCount(cfg Config, u *scan.Universe) uint64 {
+	s := uint64(simMaxShards)
+	if pps := cfg.pps(); pps < s {
+		s = pps
+	}
+	if n := u.Indexes(); n < s {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// planSimShards splits the universe into balanced contiguous shards, gives
+// each a disjoint cluster namespace via a prefix sum of worst-case spans,
+// and splits the send rate so the shard rates sum exactly to the campaign
+// rate (the remainder goes to the lowest shards).
+func planSimShards(cfg Config, u *scan.Universe) []simShard {
+	n := simShardCount(cfg, u)
+	total := u.Indexes()
+	clusterSize := uint64(cfg.scaledClusterSize())
+	pps := cfg.pps()
+	shards := make([]simShard, n)
+	base := 0
+	for w := uint64(0); w < n; w++ {
+		start := total * w / n
+		end := total * (w + 1) / n
+		probes := end - start
+		// Worst-case cluster consumption: every rotation — proactive (more
+		// than 3/4 of the pool burned, pending drained) or pool-exhausted
+		// (every name burned) — retires at least 3·clusterSize/4 burned
+		// names, and names burn only on a response to a sent probe, so a
+		// shard of P probes rotates at most 4P/(3·clusterSize) times (+1 for
+		// the initial cluster, +1 slack for the integer edge). runSimShard
+		// re-checks the bound after the run; exceeding it would collide
+		// qnames across shards.
+		span := int(4*probes/(3*clusterSize)) + 2
+		sh := simShard{
+			index: int(w), start: start, end: end,
+			firstCluster: base, clusterSpan: span,
+			pps: pps / n,
+		}
+		if w < pps%n {
+			sh.pps++
+		}
+		shards[w] = sh
+		base += span
+	}
+	return shards
+}
+
+// shardSeed derives shard w's private rng seed. Sub-simulations must not
+// share the campaign seed directly — identical latency and jitter streams
+// across shards would correlate their networks — so the seed is mixed
+// through a SplitMix64 finalizer. The map (Seed, shard) → stream is pure,
+// keeping every report byte a function of the configuration alone.
+func shardSeed(seed int64, w int) int64 {
+	x := uint64(seed) + 0x9E3779B97F4A7C15*(uint64(w)+1)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return int64(x ^ (x >> 31))
+}
+
+// simEnv is the read-only state every shard shares: the compiled population
+// and its address→cohort index (built once by the global assigner walk),
+// the threat and geo databases, and the scan universe. Nothing in it is
+// written during the fan-out, so shards need no synchronization beyond the
+// final merge.
+type simEnv struct {
+	cfg      Config
+	pop      *population.Population
+	threat   *threatintel.DB
+	reg      *geo.Registry
+	u        *scan.Universe
+	cohortOf *addrIndex
+}
+
+// simShardRun is one completed sub-simulation: the shard's private
+// accumulator, capture logs, and counter snapshots, ready for the ordered
+// merge.
+type simShardRun struct {
+	acc        *analysis.Accumulator
+	probeLog   *capture.ProbeLog
+	authLog    *capture.AuthLog
+	netStats   netsim.Stats
+	faultStats netsim.FaultStats
+	probeStats prober.Stats
+	sent       uint64
+	reused     uint64
+	clusters   int
+	duration   time.Duration
+}
+
+// runSimShard executes one shard: a complete private replica of the
+// campaign's network — the DNS hierarchy of Fig. 1 with the tcpdump tap of
+// Fig. 2, the lazily-spawned resolver population, and the prober — bounded
+// to the shard's probe range, cluster namespace, and rate slice.
+func runSimShard(env *simEnv, sh simShard, msh *obs.Shard) (*simShardRun, error) {
+	cfg := env.cfg
+	sim := netsim.New(netsim.Config{
+		Seed:    shardSeed(cfg.Seed, sh.index),
+		Latency: netsim.UniformLatency(10*time.Millisecond, 80*time.Millisecond),
+		// Stateful impairments fork per shard; a shared Gilbert–Elliott
+		// chain would entangle the shards' trajectories (and race).
+		Impairments:     netsim.CloneImpairments(cfg.Faults.Impairments),
+		MaxQueuedEvents: cfg.Faults.MaxQueuedEvents,
+	})
+
+	authLog := capture.NewAuthLog()
+	authLog.Keep = cfg.KeepPackets
+	dnssrv.NewReferralServer(sim, RootAddr, []dnssrv.Referral{
+		{Zone: "net", NSName: "a.gtld-servers.net", Addr: TLDAddr},
+	})
+	dnssrv.NewReferralServer(sim, TLDAddr, []dnssrv.Referral{
+		{Zone: paperdata.SLD, NSName: "ns1." + paperdata.SLD, Addr: AuthAddr},
+	})
+	auth := dnssrv.NewAuthServer(sim, dnssrv.AuthConfig{
+		Addr: AuthAddr, SLD: paperdata.SLD,
+		ClusterSize:  cfg.scaledClusterSize(),
+		ReloadTime:   paperdata.ClusterReloadTime,
+		Tap:          authLog,
+		FirstCluster: sh.firstCluster,
+	})
+
+	// The resolver population, instantiated lazily: only a cohort index is
+	// recorded per address (in the shared read-only cohortOf), and the
+	// Resolver host materializes in this shard's sim when its first packet
+	// arrives. An address probed by another shard spawns over there, in that
+	// shard's private network.
+	var tune func(*dnssrv.Recursive)
+	if cfg.Faults.UpstreamBackoff {
+		tune = func(rec *dnssrv.Recursive) { rec.Backoff, rec.Jitter = true, true }
+	}
+	sim.SetSpawner(func(addr ipv4.Addr) bool {
+		ci, ok := env.cohortOf.get(addr)
+		if !ok {
+			return false
+		}
+		behavior.NewResolverTuned(sim, addr, RootAddr, env.pop.Cohorts[ci].Profile, tune)
+		return true
+	})
+
+	// The analysis pipeline, fed live from this shard's capture log.
+	acc := analysis.NewAccumulator(analysis.Config{Year: cfg.Year, Threat: env.threat, Geo: env.reg})
+	probeLog := capture.NewProbeLog()
+	probeLog.Keep = cfg.KeepPackets
+	probeLog.Sink = func(p capture.Packet) { acc.AddR2(p.Src, p.Payload) }
+
+	sim.SetObserver(msh)
+
+	// Skip runs once per scanned candidate; four address compares beat a
+	// map probe on that path (and draw no hash state).
+	skipInfra := func(a ipv4.Addr) bool {
+		return a == ProberAddr || a == RootAddr || a == TLDAddr || a == AuthAddr
+	}
+	pr, err := prober.Start(sim, prober.Config{
+		Addr:            ProberAddr,
+		Universe:        env.u,
+		RangeStart:      sh.start,
+		RangeEnd:        sh.end,
+		SLD:             paperdata.SLD,
+		ClusterSize:     cfg.scaledClusterSize(),
+		FirstCluster:    sh.firstCluster,
+		PacketsPerSec:   sh.pps,
+		Timeout:         2 * time.Second,
+		Retries:         cfg.Faults.Retries,
+		AdaptiveTimeout: cfg.Faults.AdaptiveTimeout,
+		SendSkip:        cfg.sendSkip(),
+		Auth:            auth,
+		Log:             probeLog,
+		Obs:             msh,
+		Skip:            skipInfra,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	wallStart := time.Now()
+	if err := sim.Run(0); err != nil {
+		return nil, err
+	}
+	if msh != nil {
+		// Virtual-vs-wall clock ratio: how much simulated time each wall
+		// second buys. Stored as two mergeable counters; consumers divide.
+		// The virtual sum over shards is fixed by the decomposition, so the
+		// merged counter stays workers-invariant.
+		msh.Add(obs.CSimWallNanos, uint64(time.Since(wallStart)))
+		msh.Add(obs.CSimVirtualNanos, uint64(sim.Now()))
+	}
+	if !pr.Done() {
+		return nil, fmt.Errorf("core: shard %d quiesced before the prober finished", sh.index)
+	}
+	if used := pr.ClustersUsed(); used > sh.clusterSpan {
+		return nil, fmt.Errorf("core: shard %d consumed %d clusters, over its %d-cluster namespace",
+			sh.index, used, sh.clusterSpan)
+	}
+	return &simShardRun{
+		acc: acc, probeLog: probeLog, authLog: authLog,
+		netStats:   sim.Stats(),
+		faultStats: sim.FaultStats(),
+		probeStats: pr.Stats(),
+		sent:       pr.Sent(),
+		reused:     pr.Reused(),
+		clusters:   pr.ClustersUsed(),
+		duration:   pr.Duration(),
+	}, nil
+}
+
+// mergeSimShards folds the completed shards, in shard order, into one
+// Dataset — exactly the synth path's discipline: accumulators merge with
+// analysis.Accumulator.Merge (exact for arbitrary stream splits), counters
+// sum field-wise, the campaign duration is the slowest shard's (the shards
+// probe concurrently at split rates), and the captured packet streams
+// concatenate in shard order, so every derived byte is deterministic.
+func mergeSimShards(cfg Config, pop *population.Population, runs []*simShardRun) *Dataset {
+	ds := &Dataset{Config: cfg, Population: pop}
+	acc := runs[0].acc
+	var camp analysis.CampaignCounts
+	for i, r := range runs {
+		if i > 0 {
+			acc.Merge(r.acc)
+			ds.ProbeStats = ds.ProbeStats.Merge(r.probeStats)
+		} else {
+			ds.ProbeStats = r.probeStats
+		}
+		authC := r.authLog.Counters()
+		camp.Q1 += r.sent
+		camp.Q2 += authC.Q2
+		camp.R1 += authC.R1
+		camp.R2 += r.probeLog.Counters().R2
+		if r.duration > camp.Duration {
+			camp.Duration = r.duration
+		}
+		ds.ClustersUsed += r.clusters
+		ds.SubdomainsReused += r.reused
+		ds.NetStats.Add(r.netStats)
+		ds.FaultStats.Add(r.faultStats)
+	}
+	camp.PacketsPerSec = cfg.pps()
+	camp.SampleShift = cfg.SampleShift
+	ds.Report = acc.Report(camp)
+	if cfg.KeepPackets {
+		var r2, authPkts []capture.Packet
+		for _, r := range runs {
+			r2 = append(r2, r.probeLog.R2()...)
+			authPkts = append(authPkts, r.authLog.Packets()...)
+		}
+		ds.R2Packets = r2
+		// Qname correlation across the merged streams is collision-free by
+		// construction: the cluster namespaces are disjoint.
+		ds.Roles = classify.Classify(r2, authPkts)
+	}
+	return ds
+}

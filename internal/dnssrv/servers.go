@@ -134,6 +134,12 @@ type AuthConfig struct {
 	ClusterSize int
 	// ReloadTime is how long a cluster load keeps the server silent.
 	ReloadTime time.Duration
+	// FirstCluster is the cluster pre-loaded at startup: 0 for a whole
+	// campaign, a shard's namespace base in the parallel simulation (each
+	// shard probes a disjoint cluster range so merged captures never collide
+	// on a qname). Like cluster 0 of a serial run, the initial load is free —
+	// the server starts ready, with no reload silence.
+	FirstCluster int
 	// Tap, if set, observes Q2/R1 packets.
 	Tap Tap
 	// AnyName disables the probe-name cluster discipline: every name under
@@ -142,13 +148,14 @@ type AuthConfig struct {
 	AnyName bool
 }
 
-// NewAuthServer registers the authoritative server on sim, with cluster 0
-// loaded and ready.
+// NewAuthServer registers the authoritative server on sim, with cluster
+// cfg.FirstCluster loaded and ready.
 func NewAuthServer(sim *netsim.Sim, cfg AuthConfig) *AuthServer {
 	s := &AuthServer{
-		sld:         dnswire.CanonicalName(cfg.SLD),
-		tap:         cfg.Tap,
-		clusterSize: cfg.ClusterSize,
+		sld:           dnswire.CanonicalName(cfg.SLD),
+		tap:           cfg.Tap,
+		clusterSize:   cfg.ClusterSize,
+		activeCluster: cfg.FirstCluster,
 	}
 	if s.clusterSize <= 0 {
 		s.clusterSize = 1 << 20

@@ -71,7 +71,10 @@ func ParseProbeName(name, sld string) (ProbeName, error) {
 		return ProbeName{}, fmt.Errorf("dnssrv: %q lacks two-tier labels", name)
 	}
 	first, second := rest[:dot], rest[dot+1:]
-	if !strings.HasPrefix(first, "or") || len(first) != 5 {
+	// The cluster label is zero-padded to at least three digits but grows
+	// past them when the sharded engine strides cluster namespaces across
+	// sub-simulations (or1022.…), so accept any width ≥ 3.
+	if !strings.HasPrefix(first, "or") || len(first) < 5 {
 		return ProbeName{}, fmt.Errorf("dnssrv: bad cluster label %q", first)
 	}
 	cluster, err := strconv.Atoi(first[2:])

@@ -5,11 +5,14 @@
 // datagrams over a virtual network with configurable latency, jitter and
 // loss, under a virtual clock.
 //
-// The simulator is single-threaded and fully deterministic: a run is a pure
+// Each Sim is single-threaded and fully deterministic: a run is a pure
 // function of (configuration, seed). Virtual time advances only when the
 // event at the head of the queue is executed, so a campaign that takes "10
 // hours and 35 minutes" of virtual time (the paper's Table II) completes in
-// seconds of wall-clock time.
+// seconds of wall-clock time. Parallelism lives one layer up: the sharded
+// campaign engine (internal/core, DESIGN.md §12) runs several fully
+// private Sims concurrently, each seeded independently, with stateful
+// impairments forked per Sim via CloneImpairments.
 //
 // The event core is allocation-free in steady state and batched:
 //

@@ -76,6 +76,68 @@ type FaultStats struct {
 	Reordered  uint64 // packets delivered with impairment-added delay
 }
 
+// Add accumulates o into s — the shard-merge path of the parallel
+// simulation, where every sub-simulation carries its own fault pipeline and
+// the campaign total is the field-wise sum.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Dropped += o.Dropped
+	s.LossDrops += o.LossDrops
+	s.BurstDrops += o.BurstDrops
+	s.Blackholed += o.Blackholed
+	s.BrownedOut += o.BrownedOut
+	s.Duplicated += o.Duplicated
+	s.Corrupted += o.Corrupted
+	s.Reordered += o.Reordered
+}
+
+// Cloner is the optional forking extension of Impairment: a pipeline
+// element whose Apply mutates receiver state (the Gilbert–Elliott chain, a
+// window wrapping one) implements Clone to hand an independent pristine
+// copy to each private sub-simulation of a sharded campaign. Stateless
+// impairments need not implement it — their Apply only reads configuration
+// fields, so sharing one value across concurrent pipelines is safe.
+type Cloner interface {
+	Clone() Impairment
+}
+
+// Clone implements Cloner: a fresh chain in the Good state with zeroed
+// step counters, so every sub-simulation walks its own trajectory from the
+// same transition matrix.
+func (g *GilbertElliott) Clone() Impairment {
+	return &GilbertElliott{
+		PGoodBad: g.PGoodBad, PBadGood: g.PBadGood,
+		LossGood: g.LossGood, LossBad: g.LossBad,
+	}
+}
+
+// Clone implements Cloner, forking the wrapped impairment as well.
+func (w *Windowed) Clone() Impairment {
+	return &Windowed{From: w.From, Until: w.Until, Inner: CloneImpairment(w.Inner)}
+}
+
+// CloneImpairment returns a copy of imp safe to run in a second pipeline:
+// stateful impairments are forked through Cloner, stateless ones are shared
+// as-is (their Apply never writes the receiver).
+func CloneImpairment(imp Impairment) Impairment {
+	if c, ok := imp.(Cloner); ok {
+		return c.Clone()
+	}
+	return imp
+}
+
+// CloneImpairments forks a whole pipeline for a private sub-simulation,
+// preserving configuration order.
+func CloneImpairments(imps []Impairment) []Impairment {
+	if len(imps) == 0 {
+		return nil
+	}
+	out := make([]Impairment, len(imps))
+	for i, imp := range imps {
+		out[i] = CloneImpairment(imp)
+	}
+	return out
+}
+
 // --- loss models ---------------------------------------------------------
 
 // IIDLoss drops each packet independently with probability P. It is the

@@ -90,6 +90,18 @@ type Stats struct {
 	StreamBytes uint64 // bytes carried over stream (TCP-like) connections
 }
 
+// Add accumulates o into s — the shard-merge path of the parallel
+// simulation (field-wise sums; QueueStats are per-Sim sizing telemetry and
+// are not merged).
+func (s *Stats) Add(o Stats) {
+	s.Sent += o.Sent
+	s.Delivered += o.Delivered
+	s.Lost += o.Lost
+	s.NoRoute += o.NoRoute
+	s.Timers += o.Timers
+	s.StreamBytes += o.StreamBytes
+}
+
 // Spawner is invoked when a datagram arrives for an unregistered address.
 // It may Register a host for addr (returning true to request a re-lookup),
 // letting a simulation with millions of notional hosts instantiate each one

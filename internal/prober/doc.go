@@ -14,6 +14,12 @@
 // Retries == 0 and AdaptiveTimeout == false the prober is bit-identical to
 // the paper behaviour — the golden tests pin this.
 //
+// A prober can also run as one shard of a sharded campaign (DESIGN.md
+// §12): Config.RangeStart/RangeEnd restrict it to a contiguous window of
+// the probe order, Config.FirstCluster rebases its subdomain-cluster
+// namespace so shards never collide on qnames, and Stats.Merge folds the
+// per-shard counter snapshots into the campaign total in shard order.
+//
 // Config.Obs optionally attaches an obs.Shard that mirrors the prober's
 // counters (sent, received, answered, retransmits, late, duplicates,
 // gave-up, bad packets, subdomain reuse) and feeds response latencies into

@@ -21,10 +21,21 @@ type Config struct {
 	Addr ipv4.Addr
 	// Universe supplies the candidate addresses in probe order.
 	Universe *scan.Universe
+	// RangeStart and RangeEnd bound the universe walk to probe-order
+	// positions [RangeStart, RangeEnd) — one contiguous shard of the index
+	// space in the parallel simulation. RangeEnd 0 walks the whole universe.
+	RangeStart, RangeEnd uint64
 	// SLD is the controlled second-level domain.
 	SLD string
 	// ClusterSize is the number of subdomains per cluster.
 	ClusterSize int
+	// FirstCluster offsets the subdomain-cluster namespace: the prober's
+	// first pool is cluster FirstCluster (0 for a whole campaign). The
+	// parallel simulation gives each shard a disjoint cluster range so the
+	// merged probe and authoritative captures never collide on a qname.
+	// Like cluster 0 of a serial campaign, the first cluster is pre-loaded —
+	// rotating *past* it triggers the usual reload pause.
+	FirstCluster int
 	// PacketsPerSec is the probe rate in virtual time.
 	PacketsPerSec uint64
 	// Timeout is how long a subdomain stays reserved before it is deemed
@@ -176,6 +187,9 @@ func Start(sim *netsim.Sim, cfg Config) (*Prober, error) {
 	if cfg.Retries < 0 || cfg.Retries > 255 {
 		return nil, fmt.Errorf("prober: retry budget %d outside [0, 255]", cfg.Retries)
 	}
+	if cfg.FirstCluster < 0 {
+		return nil, fmt.Errorf("prober: first cluster %d negative", cfg.FirstCluster)
+	}
 	if cfg.MinRTO <= 0 {
 		cfg.MinRTO = 100 * time.Millisecond
 	}
@@ -185,16 +199,20 @@ func Start(sim *netsim.Sim, cfg Config) (*Prober, error) {
 	if cfg.Log == nil {
 		cfg.Log = capture.NewProbeLog()
 	}
+	it := cfg.Universe.Iterate()
+	if cfg.RangeEnd > 0 {
+		it = cfg.Universe.Range(cfg.RangeStart, cfg.RangeEnd)
+	}
 	p := &Prober{
 		cfg:     cfg,
-		it:      cfg.Universe.Iterate(),
+		it:      it,
 		srcPort: 40000,
 		nextID:  1,
 	}
 	p.tickFn = p.tick
 	p.node = sim.Register(cfg.Addr, p)
 	p.start = p.node.Now()
-	p.refillCluster(0)
+	p.refillCluster(cfg.FirstCluster)
 	p.node.After(0, p.tickFn)
 	return p, nil
 }
@@ -237,7 +255,7 @@ func (p *Prober) refillCluster(c int) {
 		p.retryq = p.retryq[:0]
 	}
 	p.buildTemplates(c)
-	if p.cfg.Auth != nil && c > 0 {
+	if p.cfg.Auth != nil && c > p.cfg.FirstCluster {
 		p.cfg.Auth.SetCluster(c)
 		// §III-B: loading 5M subdomains takes about a minute; the prober
 		// waits out the zone load before resuming.
@@ -268,8 +286,9 @@ func (p *Prober) buildTemplates(c int) {
 }
 
 // ClustersUsed returns how many clusters the campaign has consumed so far
-// (the §III-B "800 theoretical → 4 actual" metric).
-func (p *Prober) ClustersUsed() int { return p.cluster + 1 }
+// (the §III-B "800 theoretical → 4 actual" metric). The count is relative
+// to FirstCluster, so shard counts sum to the campaign total.
+func (p *Prober) ClustersUsed() int { return p.cluster - p.cfg.FirstCluster + 1 }
 
 // burn marks subdomain idx of the active cluster as answered (never reused).
 func (p *Prober) burn(idx int) {

@@ -208,6 +208,7 @@ type Stats struct {
 	GaveUp       uint64 // probes abandoned with the retry budget exhausted
 	BadPackets   uint64 // R2 packets that failed to decode (e.g. corrupted)
 	ClustersUsed int
+	RTTSamples   uint64        // clean first-transmission latency samples
 	SRTT, RTTVar time.Duration // adaptive-timeout estimator state
 	RTO          time.Duration // current effective timeout
 }
@@ -226,10 +227,42 @@ func (p *Prober) Stats() Stats {
 		GaveUp:       p.gaveUp,
 		BadPackets:   p.badPackets,
 		ClustersUsed: p.ClustersUsed(),
+		RTTSamples:   p.rtt.samples,
 		SRTT:         p.rtt.srtt,
 		RTTVar:       p.rtt.rttvar,
 		RTO:          p.rto(),
 	}
+}
+
+// Merge combines s with another shard's snapshot into the campaign total:
+// counters sum (ClustersUsed too — every shard consumes its own disjoint
+// cluster range), the estimator state merges as the sample-weighted mean of
+// SRTT and RTTVAR, and RTO takes the maximum — the campaign-level
+// "current effective timeout" is the most conservative shard's. The merge
+// is associative over shard order and independent of worker scheduling.
+func (s Stats) Merge(o Stats) Stats {
+	out := s
+	out.Sent += o.Sent
+	out.Skipped += o.Skipped
+	out.Received += o.Received
+	out.Answered += o.Answered
+	out.Reused += o.Reused
+	out.Retransmits += o.Retransmits
+	out.Late += o.Late
+	out.DupResponses += o.DupResponses
+	out.GaveUp += o.GaveUp
+	out.BadPackets += o.BadPackets
+	out.ClustersUsed += o.ClustersUsed
+	n := s.RTTSamples + o.RTTSamples
+	if n > 0 {
+		out.SRTT = (s.SRTT*time.Duration(s.RTTSamples) + o.SRTT*time.Duration(o.RTTSamples)) / time.Duration(n)
+		out.RTTVar = (s.RTTVar*time.Duration(s.RTTSamples) + o.RTTVar*time.Duration(o.RTTSamples)) / time.Duration(n)
+	}
+	out.RTTSamples = n
+	if o.RTO > out.RTO {
+		out.RTO = o.RTO
+	}
+	return out
 }
 
 // Late returns responses that arrived after their subdomain was swept or

@@ -208,6 +208,21 @@ func (u *Universe) Shard(i, n uint64) *Iterator {
 	return &Iterator{u: u, pos: i % n, end: u.perm.Size(), step: n}
 }
 
+// Range returns an iterator over the contiguous position range [start, end)
+// of the probe order — the partition shape of the sharded simulation, where
+// each worker walks its own slice of the permutation serially and the
+// slices concatenate to exactly one full Iterate() pass. Bounds are clamped
+// to the universe size.
+func (u *Universe) Range(start, end uint64) *Iterator {
+	if end > u.perm.Size() {
+		end = u.perm.Size()
+	}
+	if start > end {
+		start = end
+	}
+	return &Iterator{u: u, pos: start, end: end, step: 1}
+}
+
 // Next returns the next probe-eligible address. ok is false when the shard
 // is exhausted. Excluded candidates are skipped internally.
 func (it *Iterator) Next() (addr ipv4.Addr, ok bool) {

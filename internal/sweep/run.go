@@ -73,6 +73,33 @@ func (rc RunConfig) pool() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// simWorkerCap bounds each cell's intra-campaign parallelism so that
+// concurrent cells × per-cell workers stays at the pool bound instead of
+// multiplying against it: the cap is the pool budget divided by how many
+// cells actually run at once, never below one. Campaign output is
+// worker-invariant (DESIGN.md §12), so the cap shapes scheduling only —
+// the matrix bytes cannot depend on it.
+func (rc RunConfig) simWorkerCap(todo int) int {
+	conc := rc.pool()
+	if todo > 0 && todo < conc {
+		conc = todo
+	}
+	c := rc.pool() / conc
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// capWorkers clamps a cell's requested worker count (0 = all cores) to the
+// sweep-level cap.
+func capWorkers(w, cap int) int {
+	if w == 0 || w > cap {
+		return cap
+	}
+	return w
+}
+
 // Run expands the spec and executes every cell over the bounded pool,
 // returning results in cell order. The result slice is identical for any
 // pool size, and — given the same artifact set — identical between a cold
@@ -126,6 +153,7 @@ func Run(rc RunConfig) ([]Result, error) {
 
 	jobs := make(chan Cell)
 	errs := make([]error, len(cells))
+	simCap := rc.simWorkerCap(len(todo))
 	var wg sync.WaitGroup
 	for w := 0; w < rc.pool(); w++ {
 		wg.Add(1)
@@ -133,7 +161,7 @@ func Run(rc RunConfig) ([]Result, error) {
 			defer wg.Done()
 			for c := range jobs {
 				sp := rc.Obs.Tracer().Begin("cell " + c.Key())
-				res, err := runCell(rc.Spec, c, interp, shards[c.Index])
+				res, err := runCell(rc.Spec, c, interp, shards[c.Index], simCap)
 				rc.Obs.Tracer().End(sp)
 				if err != nil {
 					errs[c.Index] = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.Key(), err)
@@ -174,14 +202,16 @@ func Run(rc RunConfig) ([]Result, error) {
 // runCell executes one cell against its own private registry, folds the
 // cell's metrics into its pre-registered shard, and returns the matrix row
 // material. Sim cells keep their R2 packets so the digest covers the raw
-// response stream, exactly like the golden tests.
-func runCell(spec *Spec, c Cell, interp *drift.Interpolator, shard *obs.Shard) (Result, error) {
+// response stream, exactly like the golden tests. simCap bounds the
+// campaign's own worker fan-out so cell-level and campaign-level
+// parallelism compose against one pool budget instead of multiplying.
+func runCell(spec *Spec, c Cell, interp *drift.Interpolator, shard *obs.Shard, simCap int) (Result, error) {
 	reg := obs.NewRegistry()
 	cfg := core.Config{
 		SampleShift:   spec.Shift,
 		Seed:          spec.Seed,
 		PacketsPerSec: spec.PPS,
-		Workers:       c.Workers,
+		Workers:       capWorkers(c.Workers, simCap),
 		Obs:           reg,
 	}
 	sim := spec.Mode == "sim"

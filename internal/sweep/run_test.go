@@ -13,7 +13,7 @@ import (
 // (golden_test.go). TestSweepGoldenCell runs the identical campaign as a
 // sweep cell and must reproduce it bit-for-bit — if a change legitimately
 // re-derives the core constant, update this copy in the same commit.
-const faultGolden = "14ed63b6c82d0436126bdc5ae3b549917ab5d9eb794bd455ac21ff311b510553"
+const faultGolden = "e0ded77dface81a22b5a7685afab9b7014aadb9cd6c243c24295dc23fc13f9df"
 
 // goldenSpec is the sweep-cell restatement of core's TestFaultGolden
 // configuration: 2018 population, shift 14, seed 1, the stacked
