@@ -5,6 +5,9 @@
 #   make chaos      fault-injection matrix: every impairment class and the
 #                   stacked combo, plus the loss-recovery acceptance bar
 #   make race       race-detector pass over the concurrent pipeline
+#   make crash-matrix  process-crash fault injection: kill a campaign child
+#                   at random shard boundaries, resume from checkpoints,
+#                   assert digest equality against the cold run
 #   make vet        static checks
 #   make bench      campaign benchmarks, recorded as BENCH_PR1.json
 #   make bench-sim  simulated-campaign + event-core benchmarks (BENCH_PR2 set)
@@ -39,7 +42,7 @@ SMOKE_DIR ?= smoke-out
 # the campaign bytes.
 SMOKE_BASELINE := d19bd873ab802eecb15921fb73145c7ca0ae4b5eed4d5b6aa670791ad1557d47
 
-.PHONY: all build test chaos race vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke ci
+.PHONY: all build test chaos race crash-matrix vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke ci
 
 all: build vet test
 
@@ -61,16 +64,25 @@ chaos:
 
 # The concurrent paths: the parallel synthesis engine, the sharded
 # simulation fan-out (worker pool over private sub-simulations, DESIGN.md
-# §12), the accumulator/stats merges, and the sweep's cell pool. Each
-# netsim.Sim, prober and DNS engine is single-threaded by design — -race
-# over them guards against a future change accidentally sharing state
-# across sub-simulations (everything a shard touches after spawn must be
-# private or read-only; the worker-equivalence tests pin the bytes, this
-# gate pins the memory model).
+# §12), the accumulator/stats merges, the sweep's cell pool, the
+# checkpoint store feeding off shard workers (DESIGN.md §13), and the
+# signal-to-context bridge. Each netsim.Sim, prober and DNS engine is
+# single-threaded by design — -race over them guards against a future
+# change accidentally sharing state across sub-simulations (everything a
+# shard touches after spawn must be private or read-only; the
+# worker-equivalence tests pin the bytes, this gate pins the memory model).
 race:
 	$(GO) test -race ./internal/core/... ./internal/analysis/... \
 		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/... \
-		./internal/obs/... ./internal/sweep/...
+		./internal/obs/... ./internal/sweep/... ./internal/sigctx/...
+
+# Process-crash fault injection (DESIGN.md §13): the crash matrix re-execs
+# the test binary as a campaign child, kills it with SIGKILL at seeded-random
+# shard boundaries (≥3 distinct kill points per scenario, both calibration
+# years plus the stacked chaos impairments), resumes from the on-disk
+# checkpoints, and requires the final digest to equal the never-crashed run.
+crash-matrix:
+	$(GO) test -count=1 -run 'TestCrash' ./internal/core/ -v -timeout 10m
 
 vet:
 	$(GO) vet ./...
@@ -141,7 +153,7 @@ smoke:
 
 # The CI gauntlet, runnable locally: exactly the blocking jobs of
 # .github/workflows/ci.yml (the workflow adds a non-blocking benchdiff).
-ci: build vet test race chaos doccheck smoke
+ci: build vet test race chaos crash-matrix doccheck smoke
 
 # CPU and heap profiles for pprof — by default the simulated campaign:
 #   go tool pprof $(PROFILE_DIR)/cpu.out

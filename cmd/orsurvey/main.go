@@ -7,7 +7,7 @@
 //	orsurvey [-year 2018] [-mode synth|sim] [-shift N] [-seed N]
 //	         [-pps N] [-workers N] [-capture file] [-json file] [-csvdir dir]
 //	         [-loss-model spec] [-retries N] [-adaptive-timeout] [-upstream-backoff]
-//	         [-metrics-addr host:port] [-progress interval]
+//	         [-checkpoint-dir dir] [-metrics-addr host:port] [-progress interval]
 //
 // Examples:
 //
@@ -18,6 +18,12 @@
 //	    # campaign under 30% Gilbert–Elliott burst loss with retransmission
 //	orsurvey -mode sim -shift 10 -metrics-addr 127.0.0.1:8080 -progress 2s
 //	    # watch the campaign live: expvar/pprof/JSON snapshot + stderr ticker
+//	orsurvey -mode sim -shift 8 -checkpoint-dir ckpt/
+//	    # crash-safe campaign: every completed shard persists; rerunning the
+//	    # identical command after a crash or ^C resumes instead of restarting
+//
+// SIGINT/SIGTERM stop the campaign gracefully: in-flight shards drain and
+// (with -checkpoint-dir) persist before exit; a second signal force-quits.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"openresolver/internal/netsim"
 	"openresolver/internal/obs"
 	"openresolver/internal/paperdata"
+	"openresolver/internal/sigctx"
 )
 
 func main() {
@@ -62,6 +69,7 @@ func run(args []string, stderr io.Writer) error {
 	retries := fs.Int("retries", 0, "per-probe retransmission budget (sim mode; 0 = the paper's single-shot prober)")
 	adaptive := fs.Bool("adaptive-timeout", false, "replace the fixed 2s probe timeout with a Jacobson/Karn RTO estimator (sim mode)")
 	backoff := fs.Bool("upstream-backoff", false, "resolvers retry upstream queries with exponential backoff and jitter (sim mode)")
+	ckptDir := fs.String("checkpoint-dir", "", "persist completed shards here and resume from them on rerun (sim mode)")
 	jsonPath := fs.String("json", "", "write the full report as JSON to this file")
 	csvDir := fs.String("csvdir", "", "write every table as CSV into this directory")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON snapshot), /debug/vars (expvar), and /debug/pprof on this address")
@@ -100,6 +108,12 @@ func run(args []string, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *ckptDir != "" && *mode != "sim" {
+		return errors.New("-checkpoint-dir needs -mode sim (the synthetic engine streams too fast to checkpoint)")
+	}
+
+	ctx, cancel := sigctx.New("orsurvey", stderr)
+	defer cancel()
 	cfg := core.Config{
 		Year:          paperdata.Year(*year),
 		SampleShift:   uint8(*shift),
@@ -114,6 +128,11 @@ func run(args []string, stderr io.Writer) error {
 			UpstreamBackoff: *backoff,
 		},
 		Obs: reg,
+		Ctx: ctx,
+		Checkpoints: core.CheckpointPlan{
+			Dir: *ckptDir,
+			Log: stderr,
+		},
 	}
 
 	var (
@@ -131,6 +150,14 @@ func run(args []string, stderr io.Writer) error {
 		ds, err = core.RunSimulation(cfg)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if errors.Is(err, core.ErrInterrupted) {
+		if *ckptDir != "" {
+			fmt.Fprintf(stderr, "orsurvey: interrupted; completed shards are checkpointed in %s — rerun the same command to resume\n", *ckptDir)
+		} else {
+			fmt.Fprintln(stderr, "orsurvey: interrupted; no -checkpoint-dir was set, so a rerun starts from scratch")
+		}
+		return err
 	}
 	if err != nil {
 		return err

@@ -11,7 +11,14 @@
 //	orsweep [-spec file] [-year Y]... [-loss SPEC]... [-retry POLICY]...
 //	        [-cell-workers N]... [-mode sim|synth] [-shift N] [-seed N]
 //	        [-pps N] [-max-events N] [-workers N] [-out dir] [-resume]
-//	        [-json file] [-diff] [-metrics-addr host:port] [-progress interval]
+//	        [-watchdog dur] [-json file] [-diff]
+//	        [-metrics-addr host:port] [-progress interval]
+//
+// SIGINT/SIGTERM stop the sweep gracefully: in-flight cells drain at their
+// next shard boundary (persisting sub-cell checkpoints under -out), the
+// matrix of completed cells is printed, and -resume finishes the rest. A
+// second signal force-quits. -watchdog flags cells that run suspiciously
+// long without ever killing them.
 //
 // Axis flags repeat (every combination becomes one cell) and override the
 // same axis in -spec; scalar flags override the spec file's scalars.
@@ -34,7 +41,9 @@ import (
 	"strconv"
 	"time"
 
+	"openresolver/internal/core"
 	"openresolver/internal/obs"
+	"openresolver/internal/sigctx"
 	"openresolver/internal/sweep"
 )
 
@@ -74,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pps := fs.Uint64("pps", 0, "probe rate override (0 = paper value)")
 	maxEvents := fs.Int("max-events", 0, "per-cell event queue bound (sim; default 2^21)")
 	poolWorkers := fs.Int("workers", 0, "cells running concurrently (0 = all cores); also the budget per-cell workers are capped against")
+	watchdog := fs.Duration("watchdog", 0, "flag any cell still running after this long with a stderr warning (0 = off; cells are never killed)")
 	outDir := fs.String("out", "", "write one JSON artifact per completed cell into this directory")
 	resume := fs.Bool("resume", false, "skip cells whose completed artifact already exists in -out")
 	jsonPath := fs.String("json", "", `write the matrix as JSON to this file ("-" = stdout)`)
@@ -186,6 +196,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer stop()
 	}
 
+	ctx, cancel := sigctx.New("orsweep", stderr)
+	defer cancel()
 	fmt.Fprintf(stderr, "orsweep: %d cells (mode=%s shift=%d seed=%d), pool=%d\n",
 		len(cells), spec.Mode, spec.Shift, spec.Seed, poolSize(*poolWorkers))
 	wallStart := time.Now()
@@ -196,8 +208,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Resume:      *resume,
 		Obs:         reg,
 		Log:         stderr,
+		Ctx:         ctx,
+		Watchdog:    *watchdog,
 	})
-	if err != nil {
+	interrupted := errors.Is(err, core.ErrInterrupted)
+	if err != nil && !interrupted {
+		return err
+	}
+	if interrupted {
+		// Render what completed: artifacts are already on disk (and partial
+		// cells left shard checkpoints), so -resume finishes the grid later.
+		completed := results[:0:0]
+		for i := range results {
+			if results[i].Report != nil {
+				completed = append(completed, results[i])
+			}
+		}
+		fmt.Fprintf(stderr, "orsweep: interrupted with %d of %d cells complete; rerun with -resume to finish\n",
+			len(completed), len(results))
+		if *outDir == "" {
+			fmt.Fprintln(stderr, "orsweep: no -out directory was set, so completed cells were not persisted")
+		}
+		if len(completed) == 0 {
+			return err
+		}
+		m := sweep.BuildMatrix(spec, completed)
+		fmt.Fprintln(stdout, "PARTIAL sweep matrix (interrupted):")
+		if rerr := m.RenderText(stdout); rerr != nil {
+			return rerr
+		}
 		return err
 	}
 	// Wall-clock lives on stderr only: the stdout matrix and the JSON stay

@@ -27,6 +27,7 @@ import (
 	"openresolver/internal/drift"
 	"openresolver/internal/netsim"
 	"openresolver/internal/obs"
+	"openresolver/internal/sigctx"
 )
 
 func main() {
@@ -84,6 +85,8 @@ func run(args []string, stderr io.Writer) error {
 			return err
 		}
 	}
+	ctx, cancel := sigctx.New("ortrend", stderr)
+	defer cancel()
 	points, err := drift.Trend(drift.Config{
 		Epochs:      *epochs,
 		SampleShift: uint8(*shift),
@@ -97,12 +100,19 @@ func run(args []string, stderr io.Writer) error {
 			UpstreamBackoff: *backoff,
 		},
 		Obs: reg,
+		Ctx: ctx,
 	})
-	if err != nil {
+	if err != nil && !(errors.Is(err, core.ErrInterrupted) && len(points) > 0) {
 		return err
+	}
+	if errors.Is(err, core.ErrInterrupted) {
+		fmt.Fprintf(stderr, "ortrend: interrupted; rendering the %d completed epoch(s) of %d\n", len(points), *epochs)
 	}
 	fmt.Printf("Open-resolver ecosystem trend (1/%d sample per epoch)\n\n", uint64(1)<<*shift)
 	fmt.Print(drift.RenderTrend(points))
+	if err != nil {
+		return err
+	}
 	fmt.Println("\nThe monitored indicators reproduce the paper's §V argument: the")
 	fmt.Println("responder population declines steadily while manipulated and malicious")
 	fmt.Println("answers hold or grow — the threat does not decay with the population,")

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestStateRoundTrip is the checkpoint/restore property: capturing an
+// accumulator's state, serializing it through JSON (the checkpoint codec's
+// encoding), and restoring it yields an accumulator whose report — and
+// whose rendered table bytes — are identical to the original's.
+func TestStateRoundTrip(t *testing.T) {
+	cfg := mergeCfg()
+	stream := genMergeStream(t, cfg, 3000, 99)
+	camp := CampaignCounts{Q1: 90000, Q2: 4000, R1: 4000, R2: uint64(len(stream))}
+
+	orig := NewAccumulator(cfg)
+	for _, p := range stream {
+		orig.AddR2(p.src, p.wire)
+	}
+
+	data, err := json.Marshal(orig.State())
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var st AccumulatorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	restored := NewAccumulatorFromState(cfg, &st)
+
+	want, got := orig.Report(camp), restored.Report(camp)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored report differs from original")
+	}
+	if w, g := want.RenderAll(), got.RenderAll(); w != g {
+		t.Fatalf("restored rendering differs from original:\nwant:\n%s\ngot:\n%s", w, g)
+	}
+}
+
+// TestStateIsDeepCopy pins the isolation contract: mutating the
+// accumulator after State() must not change a taken state.
+func TestStateIsDeepCopy(t *testing.T) {
+	cfg := mergeCfg()
+	stream := genMergeStream(t, cfg, 1000, 5)
+	acc := NewAccumulator(cfg)
+	for _, p := range stream[:500] {
+		acc.AddR2(p.src, p.wire)
+	}
+	st := acc.State()
+	before, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stream[500:] {
+		acc.AddR2(p.src, p.wire)
+	}
+	after, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("state mutated by later accumulation")
+	}
+}
+
+// TestStateRestoreKeepsAccumulating checks a restored accumulator is a
+// full replacement: feeding the tail of a stream into a restored mid-point
+// state equals feeding the whole stream into one accumulator.
+func TestStateRestoreKeepsAccumulating(t *testing.T) {
+	cfg := mergeCfg()
+	stream := genMergeStream(t, cfg, 2000, 17)
+	camp := CampaignCounts{R2: uint64(len(stream))}
+
+	full := NewAccumulator(cfg)
+	for _, p := range stream {
+		full.AddR2(p.src, p.wire)
+	}
+
+	head := NewAccumulator(cfg)
+	for _, p := range stream[:1100] {
+		head.AddR2(p.src, p.wire)
+	}
+	resumed := NewAccumulatorFromState(cfg, head.State())
+	for _, p := range stream[1100:] {
+		resumed.AddR2(p.src, p.wire)
+	}
+	if !reflect.DeepEqual(resumed.Report(camp), full.Report(camp)) {
+		t.Fatalf("resumed accumulator diverged from uninterrupted one")
+	}
+}

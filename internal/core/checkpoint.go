@@ -1,0 +1,389 @@
+package core
+
+// Shard-granular checkpoint/restore for the simulated campaign engine
+// (DESIGN.md §13). A week-scale campaign (the paper's ran 7d5h) must
+// survive a process crash and resume mid-campaign, not restart from zero:
+// SimulatePopulation's fixed shard decomposition (simshard.go) gives
+// natural checkpoint units, so every completed sub-simulation's merged
+// state — accumulator, packet/fault/prober counters, captured packets, obs
+// shard — is written as one self-validating file at the shard boundary,
+// and a restarted campaign with the same configuration loads the completed
+// shards and runs only the missing ones. The merge is identical either
+// way, so a resumed campaign is byte-identical to an uninterrupted one.
+//
+// Every file is stamped with a campaign key (a digest of the configuration
+// and the full shard plan) and a payload digest, and written atomically
+// (temp + write + fsync + rename). A checkpoint that fails validation for
+// any reason — torn write, short write, version or campaign mismatch — is
+// discarded with a warning and its shard re-runs; corrupt state is never
+// silently merged.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"openresolver/internal/analysis"
+	"openresolver/internal/capture"
+	"openresolver/internal/netsim"
+	"openresolver/internal/obs"
+	"openresolver/internal/prober"
+)
+
+// ErrInterrupted reports a campaign stopped cooperatively by its context:
+// no new shards were started, in-flight shards drained and checkpointed,
+// and rerunning the same configuration resumes from what completed.
+var ErrInterrupted = errors.New("campaign interrupted")
+
+// CheckpointPlan configures shard-granular checkpoint/restore for
+// SimulatePopulation (simulation mode only; the synthetic engine streams
+// too fast to be worth checkpointing).
+type CheckpointPlan struct {
+	// Dir receives one checkpoint file per completed shard
+	// (shard-NNN.ckpt). Empty disables checkpointing.
+	Dir string
+	// FS overrides the filesystem the store writes through; nil uses the
+	// real one. Tests inject torn/short/failing writers here.
+	FS CheckpointFS
+	// Log receives human-readable notes: shards restored, invalid
+	// checkpoints discarded, write failures survived. Nil discards them.
+	// Nothing written here affects campaign bytes.
+	Log io.Writer
+	// Keep retains the checkpoint files after a campaign completes.
+	// Default is to remove them: a finished campaign's artifacts supersede
+	// its checkpoints.
+	Keep bool
+}
+
+// enabled reports whether the plan asks for checkpointing at all.
+func (p CheckpointPlan) enabled() bool { return p.Dir != "" }
+
+// CheckpointFS is the narrow filesystem surface the checkpoint store
+// needs. The production implementation (osCheckpointFS) performs real
+// atomic durable writes; fault-injection tests substitute writers that
+// tear, truncate, or fail at chosen points to prove recovery.
+type CheckpointFS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (CheckpointFile, error)
+	// Rename atomically replaces newpath with oldpath and makes the
+	// rename durable (directory sync) where the platform supports it.
+	Rename(oldpath, newpath string) error
+	ReadFile(name string) ([]byte, error)
+	Remove(name string) error
+}
+
+// CheckpointFile is one writable checkpoint temp file.
+type CheckpointFile interface {
+	io.Writer
+	// Sync flushes the file's bytes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// osCheckpointFS is the real filesystem.
+type osCheckpointFS struct{}
+
+func (osCheckpointFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osCheckpointFS) Create(name string) (CheckpointFile, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osCheckpointFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// Make the rename itself durable: fsync the containing directory.
+	// Failure here is not fatal — the data survives an orderly exit either
+	// way, and the load side validates everything it reads.
+	if d, err := os.Open(filepath.Dir(newpath)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+func (osCheckpointFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osCheckpointFS) Remove(name string) error             { return os.Remove(name) }
+
+// checkpointVersion is the on-disk format version; any change to the
+// payload shape or the campaign-key recipe must bump it, invalidating
+// every older checkpoint rather than misreading it.
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk envelope: the format version, the campaign
+// key binding the file to (configuration, shard plan), the shard index,
+// and the payload guarded by its own digest. A file that fails any of
+// these checks is treated as absent.
+type checkpointFile struct {
+	Version  int             `json:"version"`
+	Campaign string          `json:"campaign"`
+	Shard    int             `json:"shard"`
+	SHA256   string          `json:"payload_sha256"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// shardCheckpoint is the serialized form of one completed sub-simulation —
+// exactly the fields mergeSimShards folds, so a restored shard merges
+// indistinguishably from a freshly run one.
+type shardCheckpoint struct {
+	Acc           *analysis.AccumulatorState `json:"acc"`
+	NetStats      netsim.Stats               `json:"net_stats"`
+	FaultStats    netsim.FaultStats          `json:"fault_stats"`
+	ProbeStats    prober.Stats               `json:"probe_stats"`
+	Sent          uint64                     `json:"sent"`
+	Reused        uint64                     `json:"reused"`
+	Clusters      int                        `json:"clusters"`
+	DurationNanos int64                      `json:"duration_nanos"`
+	ProbeCounters capture.Counters           `json:"probe_counters"`
+	AuthCounters  capture.Counters           `json:"auth_counters"`
+	R2Packets     []capture.Packet           `json:"r2_packets,omitempty"`
+	AuthPackets   []capture.Packet           `json:"auth_packets,omitempty"`
+	Obs           *obs.ShardState            `json:"obs,omitempty"`
+}
+
+// checkpointStore writes and validates the per-shard checkpoint files of
+// one campaign. Writes happen concurrently from shard workers (distinct
+// files); the log writer is the only shared mutable state and is guarded.
+type checkpointStore struct {
+	fs   CheckpointFS
+	dir  string
+	key  string
+	keep bool
+
+	mu   sync.Mutex
+	logw io.Writer
+}
+
+// checkpointCampaignKey digests everything that shapes the campaign's
+// bytes: the configuration scalars, the fault plan (impairments by their
+// canonical configuration description — never pointer identity), and the
+// complete shard plan. Checkpoints written under a different key are
+// invalid by construction: resuming a 2013 campaign with 2018 checkpoints,
+// or after a shard-plan change, reruns everything instead of merging
+// mismatched state.
+func checkpointCampaignKey(cfg Config, shards []simShard) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ckpt v%d year=%d shift=%d seed=%d pps=%d keep=%t\n",
+		checkpointVersion, cfg.Year, cfg.SampleShift, cfg.Seed, cfg.pps(), cfg.KeepPackets)
+	fmt.Fprintf(h, "retries=%d adaptive=%t backoff=%t maxev=%d imps=%s\n",
+		cfg.Faults.Retries, cfg.Faults.AdaptiveTimeout, cfg.Faults.UpstreamBackoff,
+		cfg.Faults.MaxQueuedEvents, netsim.DescribeImpairments(cfg.Faults.Impairments))
+	for _, sh := range shards {
+		fmt.Fprintf(h, "shard %d [%d,%d) clusters=%d+%d pps=%d\n",
+			sh.index, sh.start, sh.end, sh.firstCluster, sh.clusterSpan, sh.pps)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// openCheckpointStore prepares the campaign's checkpoint directory.
+func openCheckpointStore(plan CheckpointPlan, cfg Config, shards []simShard) (*checkpointStore, error) {
+	fs := plan.FS
+	if fs == nil {
+		fs = osCheckpointFS{}
+	}
+	if err := fs.MkdirAll(plan.Dir); err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	logw := plan.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	return &checkpointStore{
+		fs:   fs,
+		dir:  plan.Dir,
+		key:  checkpointCampaignKey(cfg, shards),
+		keep: plan.Keep,
+		logw: logw,
+	}, nil
+}
+
+func (s *checkpointStore) path(shard int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.ckpt", shard))
+}
+
+// logf serializes warning output across concurrent shard workers.
+func (s *checkpointStore) logf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.logw, format, args...)
+}
+
+// write persists one completed shard atomically: marshal, digest-stamp,
+// write to a temp file, fsync, rename into place. A write failure is
+// survivable by design — the campaign continues and only resumability of
+// this one shard is lost — so errors are logged, the temp file is removed
+// best-effort, and nothing propagates into the campaign result.
+func (s *checkpointStore) write(shard int, run *simShardRun) {
+	payload, err := json.Marshal(&shardCheckpoint{
+		Acc:           run.acc.State(),
+		NetStats:      run.netStats,
+		FaultStats:    run.faultStats,
+		ProbeStats:    run.probeStats,
+		Sent:          run.sent,
+		Reused:        run.reused,
+		Clusters:      run.clusters,
+		DurationNanos: int64(run.duration),
+		ProbeCounters: run.probeCounters,
+		AuthCounters:  run.authCounters,
+		R2Packets:     run.r2,
+		AuthPackets:   run.authPackets,
+		Obs:           run.obs.State(),
+	})
+	if err != nil {
+		s.logf("core: checkpoint shard %d: marshal: %v (continuing without)\n", shard, err)
+		return
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(&checkpointFile{
+		Version:  checkpointVersion,
+		Campaign: s.key,
+		Shard:    shard,
+		SHA256:   hex.EncodeToString(sum[:]),
+		Payload:  payload,
+	})
+	if err != nil {
+		s.logf("core: checkpoint shard %d: marshal: %v (continuing without)\n", shard, err)
+		return
+	}
+
+	path := s.path(shard)
+	tmp := path + ".tmp"
+	if err := s.writeTemp(tmp, data); err != nil {
+		s.logf("core: checkpoint shard %d: %v (continuing without)\n", shard, err)
+		_ = s.fs.Remove(tmp)
+		return
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.logf("core: checkpoint shard %d: rename: %v (continuing without)\n", shard, err)
+		_ = s.fs.Remove(tmp)
+	}
+}
+
+// writeTemp writes data durably to tmp, detecting short writes.
+func (s *checkpointStore) writeTemp(tmp string, data []byte) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := f.Write(data)
+	if err == nil && n < len(data) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}
+
+// load validates and restores shard's checkpoint. A missing file is a
+// silent "not checkpointed"; anything present-but-invalid (truncated,
+// digest mismatch, wrong version/campaign/shard) is logged, removed
+// best-effort, and reported as not restorable — the shard re-runs. msh,
+// when non-nil, receives the checkpointed observability state.
+func (s *checkpointStore) load(shard int, accCfg analysis.Config, msh *obs.Shard) (*simShardRun, bool) {
+	path := s.path(shard)
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.logf("core: checkpoint shard %d: read: %v; rerunning shard\n", shard, err)
+		}
+		return nil, false
+	}
+	ck, err := s.validate(shard, data)
+	if err != nil {
+		s.logf("core: checkpoint shard %d: %v; rerunning shard\n", shard, err)
+		_ = s.fs.Remove(path)
+		return nil, false
+	}
+	run := &simShardRun{
+		acc:           analysis.NewAccumulatorFromState(accCfg, ck.Acc),
+		probeCounters: ck.ProbeCounters,
+		authCounters:  ck.AuthCounters,
+		r2:            ck.R2Packets,
+		authPackets:   ck.AuthPackets,
+		netStats:      ck.NetStats,
+		faultStats:    ck.FaultStats,
+		probeStats:    ck.ProbeStats,
+		sent:          ck.Sent,
+		reused:        ck.Reused,
+		clusters:      ck.Clusters,
+		duration:      time.Duration(ck.DurationNanos),
+		obs:           msh,
+	}
+	msh.LoadState(ck.Obs)
+	s.logf("core: shard %d restored from checkpoint\n", shard)
+	return run, true
+}
+
+// validate checks the envelope and payload integrity of one file.
+func (s *checkpointStore) validate(shard int, data []byte) (*shardCheckpoint, error) {
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("invalid checkpoint (torn or truncated write): %v", err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", cf.Version, checkpointVersion)
+	}
+	if cf.Campaign != s.key {
+		return nil, errors.New("checkpoint belongs to a different campaign configuration or shard plan")
+	}
+	if cf.Shard != shard {
+		return nil, fmt.Errorf("checkpoint names shard %d", cf.Shard)
+	}
+	sum := sha256.Sum256(cf.Payload)
+	if hex.EncodeToString(sum[:]) != cf.SHA256 {
+		return nil, errors.New("checkpoint payload digest mismatch (torn write)")
+	}
+	var ck shardCheckpoint
+	if err := json.Unmarshal(cf.Payload, &ck); err != nil {
+		return nil, fmt.Errorf("checkpoint payload: %v", err)
+	}
+	if ck.Acc == nil {
+		return nil, errors.New("checkpoint payload missing accumulator state")
+	}
+	return &ck, nil
+}
+
+// clear removes the campaign's checkpoint files after a successful merge
+// (unless the plan keeps them). Best-effort: a file that cannot be removed
+// is left behind and would be revalidated — and found stale or re-merged
+// identically — by any later resume.
+func (s *checkpointStore) clear(n int) {
+	if s.keep {
+		return
+	}
+	for i := 0; i < n; i++ {
+		err := s.fs.Remove(s.path(i))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.logf("core: checkpoint shard %d: remove: %v\n", i, err)
+		}
+	}
+	// Remove the directory when empty; harmless to fail (e.g. shared dir).
+	_ = os.Remove(s.dir)
+}
+
+// ctx returns the campaign's cancellation context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}

@@ -1,0 +1,443 @@
+package core
+
+// Checkpoint/restore and crash-recovery tests (DESIGN.md §13). The
+// recovery contract under test: a campaign interrupted at any shard
+// boundary — gracefully (context cancel) or violently (process kill,
+// via the subprocess crash matrix in crash_test.go) — and rerun with the
+// same configuration produces campaign bytes identical to an
+// uninterrupted run, and a damaged checkpoint (torn, short, corrupt,
+// mismatched configuration) is never merged: it is detected, logged, and
+// its shard re-executes.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"openresolver/internal/ipv4"
+	"openresolver/internal/netsim"
+	"openresolver/internal/paperdata"
+	"openresolver/internal/scan"
+)
+
+// ckptTestConfig is the shared campaign the checkpoint tests interrupt and
+// resume: small enough to run many times, large enough for a multi-shard
+// plan (16 shards at the paper's 2013 rate).
+func ckptTestConfig() Config {
+	return Config{Year: paperdata.Y2013, SampleShift: 14, Seed: 11, KeepPackets: true}
+}
+
+func mustSimulate(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// notifyFS wraps a CheckpointFS and invokes a hook after every successful
+// rename — i.e. at every persisted shard boundary.
+type notifyFS struct {
+	CheckpointFS
+	onRename func(n int)
+	renames  int
+}
+
+func (f *notifyFS) Rename(oldpath, newpath string) error {
+	if err := f.CheckpointFS.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.renames++
+	if f.onRename != nil {
+		f.onRename(f.renames)
+	}
+	return nil
+}
+
+// interruptCampaign starts the campaign with checkpointing into dir and
+// cancels its context after `after` shards have been persisted, returning
+// the error (which must be ErrInterrupted) and the checkpoint log.
+func interruptCampaign(t *testing.T, cfg Config, dir string, after int) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var log bytes.Buffer
+	fs := &notifyFS{CheckpointFS: osCheckpointFS{}}
+	fs.onRename = func(n int) {
+		if n >= after {
+			cancel()
+		}
+	}
+	cfg.Ctx = ctx
+	cfg.Checkpoints = CheckpointPlan{Dir: dir, FS: fs, Log: &log}
+	// Workers 1 so cancellation after `after` persisted shards leaves the
+	// rest genuinely unrun (a wide pool could drain everything in flight).
+	cfg.Workers = 1
+	_, err := RunSimulation(cfg)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted campaign: got error %v, want ErrInterrupted", err)
+	}
+	if fs.renames < after {
+		t.Fatalf("campaign persisted %d shards before interrupt, want ≥ %d", fs.renames, after)
+	}
+	return log.String()
+}
+
+// countCheckpoints returns how many shard checkpoint files exist in dir.
+func countCheckpoints(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// TestCheckpointResumeIdentical is the core recovery property: interrupt a
+// campaign partway, resume it with the same configuration, and the merged
+// dataset — digest and rendered tables — is byte-identical to an
+// uninterrupted run. Checkpoints are cleaned up after the successful merge.
+func TestCheckpointResumeIdentical(t *testing.T) {
+	cfg := ckptTestConfig()
+	cold := mustSimulate(t, cfg)
+	want := FaultDigest(cold)
+
+	dir := t.TempDir()
+	interruptCampaign(t, cfg, dir, 3)
+	if n := countCheckpoints(t, dir); n < 3 {
+		t.Fatalf("after interrupt: %d checkpoint files, want ≥ 3", n)
+	}
+
+	var log bytes.Buffer
+	resumed := cfg
+	resumed.Checkpoints = CheckpointPlan{Dir: dir, Log: &log}
+	ds, err := RunSimulation(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FaultDigest(ds); got != want {
+		t.Errorf("resumed campaign diverged from cold run\n got %s\nwant %s", got, want)
+	}
+	if cold.Report.RenderAll() != ds.Report.RenderAll() {
+		t.Error("resumed campaign rendered tables differ from cold run")
+	}
+	if !strings.Contains(log.String(), "restored from checkpoint") {
+		t.Errorf("resume log does not mention restored shards:\n%s", log.String())
+	}
+	if n := countCheckpoints(t, dir); n != 0 {
+		t.Errorf("completed campaign left %d checkpoint files behind", n)
+	}
+}
+
+// TestCheckpointKeep pins the Keep escape hatch: a completed campaign
+// retains its shard files when asked, and a rerun over them restores every
+// shard without executing any.
+func TestCheckpointKeep(t *testing.T) {
+	cfg := ckptTestConfig()
+	cfg.SampleShift = 16 // cheap: this test runs the campaign twice
+	dir := t.TempDir()
+	cfg.Checkpoints = CheckpointPlan{Dir: dir, Keep: true}
+	first, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := countCheckpoints(t, dir)
+	if n == 0 {
+		t.Fatal("Keep: no checkpoint files retained")
+	}
+	var log bytes.Buffer
+	cfg.Checkpoints.Log = &log
+	second, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FaultDigest(first) != FaultDigest(second) {
+		t.Error("fully-restored campaign diverged from the run that wrote it")
+	}
+	if got := strings.Count(log.String(), "restored from checkpoint"); got != n {
+		t.Errorf("restored %d shards, want all %d:\n%s", got, n, log.String())
+	}
+}
+
+// faultWriter fails or mangles checkpoint writes in a configurable way.
+type faultWriter struct {
+	f         CheckpointFile
+	tornAfter int  // > 0: silently drop bytes beyond this prefix
+	failWrite bool // return ENOSPC from Write
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	if w.failWrite {
+		return len(p) / 2, syscall.ENOSPC
+	}
+	if w.tornAfter > 0 && w.tornAfter < len(p) {
+		// A torn write: only a prefix reaches the disk, but the writer
+		// reports full success — the failure mode fsync-then-rename cannot
+		// prevent, only detection at load can.
+		if _, err := w.f.Write(p[:w.tornAfter]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultWriter) Sync() error  { return w.f.Sync() }
+func (w *faultWriter) Close() error { return w.f.Close() }
+
+// faultFS injects write-side faults into every checkpoint file.
+type faultFS struct {
+	CheckpointFS
+	tornAfter  int
+	shortWrite bool // Write reports fewer bytes than given, no error
+	failWrite  bool
+	failRename bool
+}
+
+func (f *faultFS) Create(name string) (CheckpointFile, error) {
+	file, err := f.CheckpointFS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.shortWrite {
+		return shortWriter{file}, nil
+	}
+	return &faultWriter{f: file, tornAfter: f.tornAfter, failWrite: f.failWrite}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.failRename {
+		return syscall.EIO
+	}
+	return f.CheckpointFS.Rename(oldpath, newpath)
+}
+
+// shortWriter accepts only half of every write and says so.
+type shortWriter struct{ f CheckpointFile }
+
+func (w shortWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p[:len(p)/2])
+	return n, err
+}
+func (w shortWriter) Sync() error  { return w.f.Sync() }
+func (w shortWriter) Close() error { return w.f.Close() }
+
+// TestCheckpointWriteFaultsSurvive drives a full campaign through every
+// write-side failure mode — ENOSPC, short writes, rename failure — and
+// checks the contract: the campaign completes with byte-identical output
+// (checkpoint loss never costs correctness, only resumability), every
+// failure is logged, and no checkpoint or temp file debris survives.
+func TestCheckpointWriteFaultsSurvive(t *testing.T) {
+	cfg := ckptTestConfig()
+	cfg.SampleShift = 16
+	want := FaultDigest(mustSimulate(t, cfg))
+
+	cases := []struct {
+		name    string
+		fs      faultFS
+		logWant string
+	}{
+		{"enospc", faultFS{failWrite: true}, "no space left"},
+		{"short-write", faultFS{shortWrite: true}, "short write"},
+		{"rename-fails", faultFS{failRename: true}, "rename"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var log bytes.Buffer
+			run := cfg
+			tc.fs.CheckpointFS = osCheckpointFS{}
+			run.Checkpoints = CheckpointPlan{Dir: dir, FS: &tc.fs, Log: &log}
+			ds, err := RunSimulation(run)
+			if err != nil {
+				t.Fatalf("campaign must survive checkpoint write failure: %v", err)
+			}
+			if got := FaultDigest(ds); got != want {
+				t.Errorf("write faults changed campaign bytes\n got %s\nwant %s", got, want)
+			}
+			if !strings.Contains(log.String(), "continuing without") ||
+				!strings.Contains(strings.ToLower(log.String()), tc.logWant) {
+				t.Errorf("log missing %q / continuing-without notice:\n%s", tc.logWant, log.String())
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				t.Errorf("debris left in checkpoint dir: %s", e.Name())
+			}
+		})
+	}
+}
+
+// TestCheckpointTornWriteRerunsShard is the torn-write half of the
+// contract: checkpoints whose payload silently lost its tail are detected
+// at load (JSON truncation or payload digest mismatch), logged, discarded,
+// and their shards re-executed — the resumed campaign still reproduces the
+// cold run's bytes. Corrupt state is never silently merged.
+func TestCheckpointTornWriteRerunsShard(t *testing.T) {
+	cfg := ckptTestConfig()
+	want := FaultDigest(mustSimulate(t, cfg))
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	torn := &faultFS{CheckpointFS: osCheckpointFS{}, tornAfter: 512}
+	fs := &notifyFS{CheckpointFS: torn}
+	fs.onRename = func(n int) {
+		if n >= 3 {
+			cancel()
+		}
+	}
+	run := cfg
+	run.Ctx = ctx
+	run.Workers = 1
+	run.Checkpoints = CheckpointPlan{Dir: dir, FS: fs}
+	if _, err := RunSimulation(run); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("got %v, want ErrInterrupted", err)
+	}
+	if n := countCheckpoints(t, dir); n < 3 {
+		t.Fatalf("%d torn checkpoint files on disk, want ≥ 3", n)
+	}
+
+	var log bytes.Buffer
+	resumed := cfg
+	resumed.Checkpoints = CheckpointPlan{Dir: dir, Log: &log}
+	ds, err := RunSimulation(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FaultDigest(ds); got != want {
+		t.Errorf("campaign resumed over torn checkpoints diverged\n got %s\nwant %s", got, want)
+	}
+	if !strings.Contains(log.String(), "rerunning shard") {
+		t.Errorf("torn checkpoints were not reported for rerun:\n%s", log.String())
+	}
+	if strings.Contains(log.String(), "restored from checkpoint") {
+		t.Errorf("a torn checkpoint was restored:\n%s", log.String())
+	}
+}
+
+// TestCheckpointFlippedByteRejected corrupts one byte in the middle of a
+// valid checkpoint file (a bit-rot / partial-overwrite stand-in): either
+// the envelope no longer parses or the payload digest no longer matches —
+// both must reject the file and rerun the shard.
+func TestCheckpointFlippedByteRejected(t *testing.T) {
+	cfg := ckptTestConfig()
+	want := FaultDigest(mustSimulate(t, cfg))
+
+	dir := t.TempDir()
+	interruptCampaign(t, cfg, dir, 2)
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.ckpt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoints to corrupt (err=%v)", err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	resumed := cfg
+	resumed.Checkpoints = CheckpointPlan{Dir: dir, Log: &log}
+	ds, err := RunSimulation(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FaultDigest(ds); got != want {
+		t.Errorf("campaign resumed over corrupt checkpoint diverged\n got %s\nwant %s", got, want)
+	}
+	if !strings.Contains(log.String(), "rerunning shard") {
+		t.Errorf("corrupt checkpoint was not rejected:\n%s", log.String())
+	}
+}
+
+// TestCheckpointCampaignMismatchReruns: checkpoints are bound to their
+// campaign key, so resuming a *different* configuration over them must
+// rerun everything — never merge another campaign's shards.
+func TestCheckpointCampaignMismatchReruns(t *testing.T) {
+	cfg := ckptTestConfig()
+	dir := t.TempDir()
+	interruptCampaign(t, cfg, dir, 2)
+
+	other := cfg
+	other.Seed = cfg.Seed + 1
+	want := FaultDigest(mustSimulate(t, other))
+
+	var log bytes.Buffer
+	other.Checkpoints = CheckpointPlan{Dir: dir, Log: &log}
+	ds, err := RunSimulation(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FaultDigest(ds); got != want {
+		t.Errorf("foreign checkpoints leaked into a different campaign\n got %s\nwant %s", got, want)
+	}
+	if !strings.Contains(log.String(), "different campaign") {
+		t.Errorf("campaign-key mismatch was not reported:\n%s", log.String())
+	}
+	if strings.Contains(log.String(), "restored from checkpoint") {
+		t.Errorf("a foreign checkpoint was restored:\n%s", log.String())
+	}
+}
+
+// TestCheckpointCampaignKeyCoversPlan pins what the campaign key must
+// react to: any knob that changes campaign bytes or the shard plan
+// (year, seed, shift, rate, capture, fault plan) changes the key; the
+// pure scheduling knobs (Workers) must not.
+func TestCheckpointCampaignKeyCoversPlan(t *testing.T) {
+	base := ckptTestConfig()
+	u := func(c Config) string {
+		uni, err := scan.NewUniverse(uint64(c.Seed), c.SampleShift, ipv4.NewReservedBlocklist())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return checkpointCampaignKey(c, planSimShards(c, uni))
+	}
+	key := u(base)
+
+	same := base
+	same.Workers = 7
+	if u(same) != key {
+		t.Error("Workers changed the campaign key; scheduling must not invalidate checkpoints")
+	}
+
+	imps, err := netsim.ParseImpairments("loss:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]Config{}
+	v := base
+	v.Year = paperdata.Y2018
+	variants["year"] = v
+	v = base
+	v.Seed++
+	variants["seed"] = v
+	v = base
+	v.SampleShift++
+	variants["shift"] = v
+	v = base
+	v.PacketsPerSec = 999
+	variants["pps"] = v
+	v = base
+	v.KeepPackets = !v.KeepPackets
+	variants["keep-packets"] = v
+	v = base
+	v.Faults = FaultPlan{Impairments: imps, Retries: 1}
+	variants["faults"] = v
+	for name, vc := range variants {
+		if u(vc) == key {
+			t.Errorf("%s change did not change the campaign key", name)
+		}
+	}
+}

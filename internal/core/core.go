@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -73,6 +74,19 @@ type Config struct {
 	// campaign — reports are bit-identical with Obs attached (pinned by
 	// the metrics golden test).
 	Obs *obs.Registry
+	// Ctx, when non-nil, allows cooperative cancellation. A cancelled
+	// campaign stops dispatching work at the next shard boundary
+	// (simulation mode) or probe batch (synthetic mode), drains what is in
+	// flight — checkpointing it when Checkpoints is configured — and
+	// returns ErrInterrupted. Nil means run to completion.
+	Ctx context.Context
+	// Checkpoints configures shard-granular checkpoint/restore for
+	// simulation-mode campaigns (DESIGN.md §13): every completed
+	// sub-simulation is persisted atomically, and a rerun with the same
+	// configuration and checkpoint directory resumes from the completed
+	// shards, producing byte-identical output. The zero value disables
+	// checkpointing.
+	Checkpoints CheckpointPlan
 }
 
 // FaultPlan wires the fault-injection layer and the retransmission engines
@@ -320,8 +334,9 @@ type synthWorker struct {
 // run synthesizes the worker's shard. The global probe index g determines
 // the qname and transaction ID; the assigner cursors determine the source
 // address; together they reproduce the serial loop's exact output for
-// [start, end).
-func (w *synthWorker) run(pop *population.Population, plan shardPlan) error {
+// [start, end). Cancellation is polled every 64Ki probes — cheap against
+// the per-probe work, fine-grained against a multi-minute shard.
+func (w *synthWorker) run(ctx context.Context, pop *population.Population, plan shardPlan) error {
 	g := plan.start
 	for ci := plan.cohort; ci < len(pop.Cohorts) && g < plan.end; ci++ {
 		cohort := &pop.Cohorts[ci]
@@ -330,6 +345,9 @@ func (w *synthWorker) run(pop *population.Population, plan shardPlan) error {
 			i = plan.offset
 		}
 		for ; i < cohort.Count && g < plan.end; i++ {
+			if g&0xFFFF == 0 && ctx.Err() != nil {
+				return ErrInterrupted
+			}
 			if err := w.probe(cohort, g); err != nil {
 				return err
 			}
@@ -400,9 +418,10 @@ func synthesize(cfg Config, pop *population.Population, threat *threatintel.DB,
 			name:        make([]byte, 0, 64),
 		}
 	}
+	ctx := cfg.ctx()
 	if workers == 1 {
 		w := newWorker(assigner, cfg.Obs.NewShard("synth-0"))
-		if err := w.run(pop, shardPlan{start: 0, end: total}); err != nil {
+		if err := w.run(ctx, pop, shardPlan{start: 0, end: total}); err != nil {
 			return nil, err
 		}
 		return w.acc, nil
@@ -432,7 +451,7 @@ func synthesize(cfg Config, pop *population.Population, threat *threatintel.DB,
 			}
 			w := newWorker(fork, sh)
 			ws[i] = w
-			errs[i] = w.run(pop, plan)
+			errs[i] = w.run(ctx, pop, plan)
 		}(i, plan, sh)
 	}
 	wg.Wait()
@@ -537,14 +556,48 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	env := &simEnv{cfg: cfg, pop: pop, threat: threat, reg: reg, u: u, cohortOf: cohortOf}
 	runs := make([]*simShardRun, len(shards))
 	errs := make([]error, len(shards))
+
+	// Checkpoint/restore (DESIGN.md §13): restore every shard with a valid
+	// checkpoint from a previous run of the same campaign, then execute only
+	// the rest. Restored runs carry exactly the fields mergeSimShards folds,
+	// so the merged dataset is byte-identical to an uninterrupted run's.
+	var store *checkpointStore
+	if cfg.Checkpoints.enabled() {
+		store, err = openCheckpointStore(cfg.Checkpoints, cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+		sp = tr.Begin("checkpoint-restore")
+		accCfg := analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg}
+		for i := range shards {
+			if run, ok := store.load(i, accCfg, obsShards[i]); ok {
+				runs[i] = run
+			}
+		}
+		tr.End(sp)
+	}
+
+	// runShard executes one pending shard and, on success, persists it at
+	// the shard boundary — the atomic unit of crash-safe progress.
+	runShard := func(i int) {
+		runs[i], errs[i] = runSimShard(env, shards[i], obsShards[i])
+		if errs[i] == nil && store != nil {
+			store.write(i, runs[i])
+		}
+	}
+
+	ctx := cfg.ctx()
 	sp = tr.Begin("simulate")
 	workers := cfg.workers()
 	if workers > len(shards) {
 		workers = len(shards)
 	}
 	if workers <= 1 {
-		for i, sh := range shards {
-			runs[i], errs[i] = runSimShard(env, sh, obsShards[i])
+		for i := range shards {
+			if runs[i] != nil || ctx.Err() != nil {
+				continue
+			}
+			runShard(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -554,12 +607,22 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					runs[i], errs[i] = runSimShard(env, shards[i], obsShards[i])
+					runShard(i)
 				}
 			}()
 		}
+		// Graceful shutdown: on cancellation, stop dispatching but let
+		// every in-flight shard drain (and checkpoint) before returning.
+	dispatch:
 		for i := range shards {
-			jobs <- i
+			if runs[i] != nil {
+				continue
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()
@@ -570,9 +633,19 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 			return nil, err
 		}
 	}
+	for _, run := range runs {
+		if run == nil {
+			// Cancelled before every shard completed. Completed shards are
+			// checkpointed; rerunning the same configuration resumes there.
+			return nil, fmt.Errorf("core: %w: campaign stopped at a shard boundary", ErrInterrupted)
+		}
+	}
 
 	sp = tr.Begin("report")
 	ds := mergeSimShards(cfg, pop, runs)
 	tr.End(sp)
+	if store != nil {
+		store.clear(len(shards))
+	}
 	return ds, nil
 }

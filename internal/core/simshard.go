@@ -131,19 +131,25 @@ type simEnv struct {
 }
 
 // simShardRun is one completed sub-simulation: the shard's private
-// accumulator, capture logs, and counter snapshots, ready for the ordered
-// merge.
+// accumulator, capture counters and packet streams, and counter snapshots,
+// ready for the ordered merge. Every field is plain value data (no live
+// logs or simulator handles): a run restored from a checkpoint is
+// indistinguishable from a freshly executed one, which is what makes the
+// resumed merge byte-identical.
 type simShardRun struct {
-	acc        *analysis.Accumulator
-	probeLog   *capture.ProbeLog
-	authLog    *capture.AuthLog
-	netStats   netsim.Stats
-	faultStats netsim.FaultStats
-	probeStats prober.Stats
-	sent       uint64
-	reused     uint64
-	clusters   int
-	duration   time.Duration
+	acc           *analysis.Accumulator
+	probeCounters capture.Counters
+	authCounters  capture.Counters
+	r2            []capture.Packet
+	authPackets   []capture.Packet
+	netStats      netsim.Stats
+	faultStats    netsim.FaultStats
+	probeStats    prober.Stats
+	sent          uint64
+	reused        uint64
+	clusters      int
+	duration      time.Duration
+	obs           *obs.Shard
 }
 
 // runSimShard executes one shard: a complete private replica of the
@@ -250,14 +256,19 @@ func runSimShard(env *simEnv, sh simShard, msh *obs.Shard) (*simShardRun, error)
 			sh.index, used, sh.clusterSpan)
 	}
 	return &simShardRun{
-		acc: acc, probeLog: probeLog, authLog: authLog,
-		netStats:   sim.Stats(),
-		faultStats: sim.FaultStats(),
-		probeStats: pr.Stats(),
-		sent:       pr.Sent(),
-		reused:     pr.Reused(),
-		clusters:   pr.ClustersUsed(),
-		duration:   pr.Duration(),
+		acc:           acc,
+		probeCounters: probeLog.Counters(),
+		authCounters:  authLog.Counters(),
+		r2:            probeLog.R2(),
+		authPackets:   authLog.Packets(),
+		netStats:      sim.Stats(),
+		faultStats:    sim.FaultStats(),
+		probeStats:    pr.Stats(),
+		sent:          pr.Sent(),
+		reused:        pr.Reused(),
+		clusters:      pr.ClustersUsed(),
+		duration:      pr.Duration(),
+		obs:           msh,
 	}, nil
 }
 
@@ -278,11 +289,10 @@ func mergeSimShards(cfg Config, pop *population.Population, runs []*simShardRun)
 		} else {
 			ds.ProbeStats = r.probeStats
 		}
-		authC := r.authLog.Counters()
 		camp.Q1 += r.sent
-		camp.Q2 += authC.Q2
-		camp.R1 += authC.R1
-		camp.R2 += r.probeLog.Counters().R2
+		camp.Q2 += r.authCounters.Q2
+		camp.R1 += r.authCounters.R1
+		camp.R2 += r.probeCounters.R2
 		if r.duration > camp.Duration {
 			camp.Duration = r.duration
 		}
@@ -297,8 +307,8 @@ func mergeSimShards(cfg Config, pop *population.Population, runs []*simShardRun)
 	if cfg.KeepPackets {
 		var r2, authPkts []capture.Packet
 		for _, r := range runs {
-			r2 = append(r2, r.probeLog.R2()...)
-			authPkts = append(authPkts, r.authLog.Packets()...)
+			r2 = append(r2, r.r2...)
+			authPkts = append(authPkts, r.authPackets...)
 		}
 		ds.R2Packets = r2
 		// Qname correlation across the merged streams is collision-free by

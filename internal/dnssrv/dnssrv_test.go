@@ -79,6 +79,50 @@ func TestProbeNameRejects(t *testing.T) {
 	}
 }
 
+// TestProbeNameClusterWidths pins the cluster-label width contract: the
+// paper's fixed 3-digit rendering is the floor, and the sharded engine's
+// wider strided labels (or1022, or10220…) must keep parsing, while anything
+// narrower, non-numeric, or too large for int must be rejected rather than
+// silently truncated or wrapped.
+func TestProbeNameClusterWidths(t *testing.T) {
+	accept := []struct {
+		label   string
+		cluster int
+	}{
+		{"or000", 0},
+		{"or999", 999},
+		{"or1022", 1022},     // 4 digits: sharded stride past the padded width
+		{"or10220", 10220},   // 5 digits
+		{"or102200", 102200}, // 6 digits: no upper width cap short of overflow
+	}
+	for _, tc := range accept {
+		name := tc.label + ".0000001." + testSLD
+		pn, err := ParseProbeName(name, testSLD)
+		if err != nil {
+			t.Errorf("%q rejected: %v", name, err)
+			continue
+		}
+		if pn.Cluster != tc.cluster || pn.Index != 1 {
+			t.Errorf("%q parsed as %+v, want cluster %d index 1", name, pn, tc.cluster)
+		}
+	}
+	reject := []string{
+		"or12.0000001." + testSLD,   // 2-digit label: below the padded floor
+		"or1.0000001." + testSLD,    // 1-digit label
+		"or.0000001." + testSLD,     // no digits at all
+		"or0x1.0000001." + testSLD,  // non-numeric amid the digits
+		"or001a.0000001." + testSLD, // non-numeric suffix after valid digits
+		// 20 nines overflow int64: strconv.Atoi must bound the value with an
+		// ErrRange rejection instead of wrapping into a bogus cluster.
+		"or99999999999999999999.0000001." + testSLD,
+	}
+	for _, name := range reject {
+		if pn, err := ParseProbeName(name, testSLD); err == nil {
+			t.Errorf("%q accepted as %+v", name, pn)
+		}
+	}
+}
+
 func TestTruthAddrProperties(t *testing.T) {
 	reserved := ipv4.NewReservedBlocklist()
 	seen := map[ipv4.Addr]int{}

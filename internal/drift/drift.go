@@ -15,6 +15,8 @@
 package drift
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -52,6 +54,11 @@ type Config struct {
 	// "epoch <label>" span wraps each campaign, and the campaign's own
 	// spans and metrics shards nest inside (see core.Config.Obs).
 	Obs *obs.Registry
+	// Ctx, when non-nil, allows cooperative cancellation: the in-flight
+	// epoch's campaign drains at its next shard boundary, and Trend returns
+	// the completed epochs' points alongside core.ErrInterrupted — a
+	// partial trend the caller may still render.
+	Ctx context.Context
 }
 
 // Point is one monitoring epoch's summary.
@@ -145,7 +152,7 @@ func Trend(cfg Config) ([]Point, error) {
 		}
 		ccfg := core.Config{
 			Year: paperdata.Y2018, SampleShift: cfg.SampleShift, Seed: cfg.Seed + int64(i),
-			Workers: cfg.Workers, Faults: cfg.Faults, Obs: cfg.Obs,
+			Workers: cfg.Workers, Faults: cfg.Faults, Obs: cfg.Obs, Ctx: cfg.Ctx,
 		}
 		label := Label(w)
 		sp := cfg.Obs.Tracer().Begin("epoch " + label)
@@ -156,6 +163,11 @@ func Trend(cfg Config) ([]Point, error) {
 			ds, err = core.SynthesizePopulation(ccfg, mixed, merged)
 		}
 		cfg.Obs.Tracer().End(sp)
+		if errors.Is(err, core.ErrInterrupted) {
+			// Hand back the epochs that finished: a partial trend is still a
+			// trend, and the caller decides whether to render it.
+			return points, fmt.Errorf("epoch %d (%s): %w", i, label, err)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("epoch %d: %w", i, err)
 		}

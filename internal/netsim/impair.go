@@ -512,3 +512,68 @@ func parseWindow(s string) (from, until time.Duration, err error) {
 	}
 	return from, until, nil
 }
+
+// --- canonical descriptions ----------------------------------------------
+
+// Impairment String methods render the *configuration* of each pipeline
+// element — never its mutable state (the Gilbert–Elliott chain position,
+// step counters) and never pointer addresses — so two pipelines built from
+// the same spec always describe identically. DescribeImpairments is the
+// stable identity the crash-safe campaign engine hashes into its
+// checkpoint campaign key: a resumed run validates that its fault plan
+// matches the one that wrote the checkpoints.
+
+// String describes the loss configuration.
+func (l *IIDLoss) String() string { return fmt.Sprintf("loss(p=%g)", l.P) }
+
+// String describes the chain's transition and loss configuration.
+func (g *GilbertElliott) String() string {
+	return fmt.Sprintf("ge(pgb=%g,pbg=%g,lossg=%g,lossb=%g)",
+		g.PGoodBad, g.PBadGood, g.LossGood, g.LossBad)
+}
+
+// String describes the duplication configuration.
+func (d *Duplicator) String() string { return fmt.Sprintf("dup(p=%g,copies=%d)", d.P, d.Copies) }
+
+// String describes the reordering configuration.
+func (r *Reorderer) String() string { return fmt.Sprintf("reorder(p=%g,window=%s)", r.P, r.Window) }
+
+// String describes the corruption configuration.
+func (c *Corruptor) String() string { return fmt.Sprintf("corrupt(p=%g)", c.P) }
+
+// String describes the blackholed prefix.
+func (b *Blackhole) String() string { return fmt.Sprintf("blackhole(%s,src=%t)", b.Block, b.MatchSrc) }
+
+// String describes the brownout window and severity.
+func (b *Brownout) String() string {
+	return fmt.Sprintf("brownout(%s..%s,loss=%g)", b.From, b.Until, b.Loss)
+}
+
+// String describes the window and the wrapped impairment.
+func (w *Windowed) String() string {
+	return fmt.Sprintf("windowed(%s..%s,%s)", w.From, w.Until, DescribeImpairment(w.Inner))
+}
+
+// DescribeImpairment returns imp's canonical configuration description:
+// its String when it has one, its concrete type name otherwise (a custom
+// impairment without a String still gets a stable — if coarse — identity).
+func DescribeImpairment(imp Impairment) string {
+	if s, ok := imp.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%T", imp)
+}
+
+// DescribeImpairments renders a whole pipeline in configuration order,
+// semicolon-joined — pointer-free and state-free, identical for every
+// pipeline built from the same spec.
+func DescribeImpairments(imps []Impairment) string {
+	var b strings.Builder
+	for i, imp := range imps {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(DescribeImpairment(imp))
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package obs
+
+import "sync/atomic"
+
+// ShardState is the serializable capture of one Shard: every counter and
+// the full fixed-bucket histogram contents, with exported fields so it
+// survives a JSON round trip exactly. It is the checkpoint/restore form of
+// a shard — core's crash-safe campaign engine stores one per completed
+// sub-simulation so a resumed campaign's metrics still cross-check against
+// its merged Stats.
+type ShardState struct {
+	Counters [NumCounters]uint64      `json:"counters"`
+	Hists    [NumHists]HistogramState `json:"hists"`
+}
+
+// HistogramState is a Histogram's raw storage: counts per bucket plus the
+// running aggregates, in the same encoding the live histogram uses
+// (MinOff1 is min+1 with 0 meaning "no observation"), so Load reproduces
+// the observation stream's aggregates exactly.
+type HistogramState struct {
+	Count   uint64             `json:"count"`
+	Sum     uint64             `json:"sum"`
+	MinOff1 uint64             `json:"min_off1"`
+	Max     uint64             `json:"max"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// State captures the shard's counters and histograms. Reads are atomic, so
+// taking a state concurrently with the owning worker is safe (the usual
+// monitoring consistency: counters may be mid-batch, never torn). Returns
+// nil for a nil shard.
+func (s *Shard) State() *ShardState {
+	if s == nil {
+		return nil
+	}
+	st := &ShardState{}
+	for c := Counter(0); c < NumCounters; c++ {
+		st.Counters[c] = atomic.LoadUint64(&s.counters[c])
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		hist := &s.hists[h]
+		hs := &st.Hists[h]
+		hs.Count = atomic.LoadUint64(&hist.count)
+		hs.Sum = atomic.LoadUint64(&hist.sum)
+		hs.MinOff1 = atomic.LoadUint64(&hist.minOff1)
+		hs.Max = atomic.LoadUint64(&hist.max)
+		for b := 0; b < NumBuckets; b++ {
+			hs.Buckets[b] = atomic.LoadUint64(&hist.buckets[b])
+		}
+	}
+	return st
+}
+
+// LoadState folds a captured state into the shard: counters and bucket
+// counts add, min/max combine — the same commutative merge discipline as
+// MergeInto, so loading a state into an empty shard reproduces the
+// captured shard and loading into a live one behaves like merging it.
+// Nil shard or nil state is a no-op.
+func (s *Shard) LoadState(st *ShardState) {
+	if s == nil || st == nil {
+		return
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if n := st.Counters[c]; n > 0 {
+			atomic.AddUint64(&s.counters[c], n)
+		}
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		hist := &s.hists[h]
+		hs := &st.Hists[h]
+		atomic.AddUint64(&hist.count, hs.Count)
+		atomic.AddUint64(&hist.sum, hs.Sum)
+		for b := 0; b < NumBuckets; b++ {
+			if n := hs.Buckets[b]; n > 0 {
+				atomic.AddUint64(&hist.buckets[b], n)
+			}
+		}
+		if hs.MinOff1 != 0 {
+			for {
+				cur := atomic.LoadUint64(&hist.minOff1)
+				if cur != 0 && cur <= hs.MinOff1 {
+					break
+				}
+				if atomic.CompareAndSwapUint64(&hist.minOff1, cur, hs.MinOff1) {
+					break
+				}
+			}
+		}
+		if hs.Max > 0 {
+			for {
+				cur := atomic.LoadUint64(&hist.max)
+				if hs.Max <= cur || atomic.CompareAndSwapUint64(&hist.max, cur, hs.Max) {
+					break
+				}
+			}
+		}
+	}
+}

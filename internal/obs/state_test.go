@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestShardStateRoundTrip: State → JSON → LoadState into an empty shard
+// reproduces every counter and histogram aggregate exactly.
+func TestShardStateRoundTrip(t *testing.T) {
+	src := NewShard("src")
+	for c := Counter(0); c < NumCounters; c++ {
+		src.Add(c, uint64(c)*3+1)
+	}
+	for _, v := range []int64{0, 1, 2, 5, 1023, 1024, 1 << 40} {
+		src.Observe(HRTT, v)
+		src.Observe(HQueueDepth, v/2)
+	}
+
+	data, err := json.Marshal(src.State())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var st ShardState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	dst := NewShard("dst")
+	dst.LoadState(&st)
+	for c := Counter(0); c < NumCounters; c++ {
+		if got, want := dst.Counter(c), src.Counter(c); got != want {
+			t.Fatalf("counter %s: got %d want %d", CounterName(c), got, want)
+		}
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		got, want := dst.Histogram(h).Snapshot(), src.Histogram(h).Snapshot()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("histogram %s: got %+v want %+v", HistName(h), got, want)
+		}
+	}
+}
+
+// TestShardStateLoadMerges: loading a state into a non-empty shard behaves
+// exactly like merging the captured shard (the additive discipline of
+// MergeInto), so restored and live metrics compose.
+func TestShardStateLoadMerges(t *testing.T) {
+	a, b := NewShard("a"), NewShard("b")
+	a.Add(CProbeSent, 10)
+	a.Observe(HRTT, 100)
+	a.Observe(HRTT, 3)
+	b.Add(CProbeSent, 5)
+	b.Add(CSimLost, 2)
+	b.Observe(HRTT, 7000)
+
+	viaMerge := NewShard("m")
+	a.MergeInto(viaMerge)
+	b.MergeInto(viaMerge)
+
+	viaState := NewShard("s")
+	a.MergeInto(viaState)
+	viaState.LoadState(b.State())
+
+	for c := Counter(0); c < NumCounters; c++ {
+		if viaMerge.Counter(c) != viaState.Counter(c) {
+			t.Fatalf("counter %s: merge %d vs state-load %d",
+				CounterName(c), viaMerge.Counter(c), viaState.Counter(c))
+		}
+	}
+	if m, s := viaMerge.Histogram(HRTT).Snapshot(), viaState.Histogram(HRTT).Snapshot(); !reflect.DeepEqual(m, s) {
+		t.Fatalf("HRTT: merge %+v vs state-load %+v", m, s)
+	}
+}
+
+// TestShardStateNilSafety: nil shards and nil states are inert.
+func TestShardStateNilSafety(t *testing.T) {
+	var s *Shard
+	if s.State() != nil {
+		t.Fatal("nil shard State should be nil")
+	}
+	s.LoadState(&ShardState{})   // no panic
+	NewShard("x").LoadState(nil) // no panic
+}

@@ -1,0 +1,39 @@
+// Package sigctx provides the graceful-shutdown context shared by the
+// campaign CLIs (orsurvey, ortrend, orsweep). The first SIGINT/SIGTERM
+// cancels the returned context — the engines stop dispatching work at the
+// next shard or cell boundary, drain what is in flight, and checkpoint it
+// — while a second signal gets the default handling back and kills the
+// process immediately, so a wedged run can always be terminated.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// New returns a context cancelled by the first interrupt/termination
+// signal. The notice (prefixed with name) goes to stderr so the user
+// knows the run is draining, not hung. The returned cancel releases the
+// signal hook and must be deferred by the caller.
+func New(name string, stderr io.Writer) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case s := <-sigc:
+			fmt.Fprintf(stderr, "%s: %v received; draining in-flight work at the next shard boundary (send again to force quit)\n", name, s)
+			// Restore default delivery first: a second signal now kills the
+			// process outright instead of being swallowed here.
+			signal.Stop(sigc)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(sigc)
+		}
+	}()
+	return ctx, cancel
+}

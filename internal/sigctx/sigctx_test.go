@@ -1,0 +1,43 @@
+package sigctx
+
+import (
+	"bytes"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalCancelsContext sends this process a real SIGINT and checks the
+// contract: the context cancels, and the stderr notice tells the user the
+// run is draining rather than hung. (The channel close gives the
+// happens-before edge that makes reading the buffer safe afterwards.)
+func TestSignalCancelsContext(t *testing.T) {
+	var buf bytes.Buffer
+	ctx, cancel := New("sigtest", &buf)
+	defer cancel()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sigtest:") || !strings.Contains(out, "draining") {
+		t.Errorf("signal notice missing or unlabeled: %q", out)
+	}
+}
+
+// TestCancelWithoutSignal: plain cancellation must tear down cleanly with
+// no notice written.
+func TestCancelWithoutSignal(t *testing.T) {
+	var buf bytes.Buffer
+	ctx, cancel := New("sigtest", &buf)
+	cancel()
+	<-ctx.Done()
+	if buf.Len() != 0 {
+		t.Errorf("cancel without signal wrote a notice: %q", buf.String())
+	}
+}

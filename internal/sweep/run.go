@@ -1,7 +1,9 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -64,6 +66,23 @@ type RunConfig struct {
 	// clocks). Nil discards them. Nothing written here is part of the
 	// deterministic matrix output.
 	Log io.Writer
+	// Ctx, when non-nil, allows cooperative cancellation: the sweep stops
+	// dispatching cells, in-flight cells drain at their next shard boundary
+	// (checkpointing sub-cell progress when ArtifactDir is set), and Run
+	// returns the completed results alongside core.ErrInterrupted.
+	Ctx context.Context
+	// Watchdog, when positive, flags any cell still running after the
+	// duration with a "stuck?" note on Log. It only ever warns — a slow
+	// cell is never killed, because killing it would make the sweep's
+	// outcome depend on host speed.
+	Watchdog time.Duration
+}
+
+func (rc RunConfig) ctx() context.Context {
+	if rc.Ctx != nil {
+		return rc.Ctx
+	}
+	return context.Background()
 }
 
 func (rc RunConfig) pool() int {
@@ -139,11 +158,19 @@ func Run(rc RunConfig) ([]Result, error) {
 	todo := make([]Cell, 0, len(cells))
 	if rc.Resume && rc.ArtifactDir != "" {
 		for _, c := range cells {
-			if res, ok := loadArtifact(rc.Spec, c, rc.ArtifactDir); ok {
+			res, ok, lerr := loadArtifact(rc.Spec, c, rc.ArtifactDir)
+			if ok {
 				res.Resumed = true
 				results[c.Index] = res
 				fmt.Fprintf(logw, "orsweep: cell %d (%s) resumed from artifact\n", c.Index, c.Key())
 				continue
+			}
+			if lerr != nil {
+				// A damaged artifact is recoverable — the cell just reruns —
+				// but must never be silent: a user resuming a long sweep
+				// should know which cells lost their cached work and why.
+				fmt.Fprintf(logw, "orsweep: cell %d (%s): artifact unusable (%v); rerunning cell\n",
+					c.Index, c.Key(), lerr)
 			}
 			todo = append(todo, c)
 		}
@@ -151,6 +178,7 @@ func Run(rc RunConfig) ([]Result, error) {
 		todo = cells
 	}
 
+	ctx := rc.ctx()
 	jobs := make(chan Cell)
 	errs := make([]error, len(cells))
 	simCap := rc.simWorkerCap(len(todo))
@@ -160,12 +188,41 @@ func Run(rc RunConfig) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
+				var watchdog *time.Timer
+				if rc.Watchdog > 0 {
+					c := c
+					started := time.Now()
+					watchdog = time.AfterFunc(rc.Watchdog, func() {
+						fmt.Fprintf(logw, "orsweep: cell %d (%s) still running after %v — stuck?\n",
+							c.Index, c.Key(), time.Since(started).Round(time.Second))
+					})
+				}
 				sp := rc.Obs.Tracer().Begin("cell " + c.Key())
-				res, err := runCell(rc.Spec, c, interp, shards[c.Index], simCap)
+				res, err := runCell(rc, c, interp, shards[c.Index], simCap, logw)
 				rc.Obs.Tracer().End(sp)
+				if watchdog != nil {
+					watchdog.Stop()
+				}
 				if err != nil {
+					if errors.Is(err, core.ErrInterrupted) {
+						// The cell drained at a shard boundary; its sub-cell
+						// checkpoints (sim mode, ArtifactDir set) survive for
+						// the next -resume. Not a failure.
+						fmt.Fprintf(logw, "orsweep: cell %d (%s) interrupted at a shard boundary\n",
+							c.Index, c.Key())
+						continue
+					}
 					errs[c.Index] = fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.Key(), err)
 					continue
+				}
+				// Persist immediately: a sweep killed later loses at most the
+				// cells still in flight, never completed ones. Cells write
+				// distinct files, so concurrent workers never collide.
+				if rc.ArtifactDir != "" {
+					if err := writeArtifact(rc.Spec, &res, rc.ArtifactDir); err != nil {
+						errs[c.Index] = fmt.Errorf("sweep: cell %d (%s): artifact: %w", c.Index, c.Key(), err)
+						continue
+					}
 				}
 				results[c.Index] = res
 				fmt.Fprintf(logw, "orsweep: cell %d (%s) done in %v\n",
@@ -173,8 +230,15 @@ func Run(rc RunConfig) ([]Result, error) {
 			}
 		}()
 	}
+	// Graceful shutdown: on cancellation stop handing out cells; workers
+	// drain what they hold (each campaign stops at its own shard boundary).
+dispatch:
 	for _, c := range todo {
-		jobs <- c
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -183,17 +247,13 @@ func Run(rc RunConfig) ([]Result, error) {
 			return nil, err
 		}
 	}
-
-	// Persist artifacts in deterministic cell order.
 	for i := range results {
-		res := &results[i]
-		if res.Resumed {
-			continue
-		}
-		if rc.ArtifactDir != "" {
-			if err := writeArtifact(rc.Spec, res, rc.ArtifactDir); err != nil {
-				return nil, err
-			}
+		if results[i].Report == nil {
+			// At least one cell never completed — only possible via
+			// cancellation. Hand back what finished; the caller renders a
+			// partial matrix and a rerun with -resume picks up the rest.
+			return results, fmt.Errorf("sweep: %w: %s", core.ErrInterrupted,
+				"partial results returned; rerun with -resume to continue")
 		}
 	}
 	return results, nil
@@ -205,7 +265,12 @@ func Run(rc RunConfig) ([]Result, error) {
 // response stream, exactly like the golden tests. simCap bounds the
 // campaign's own worker fan-out so cell-level and campaign-level
 // parallelism compose against one pool budget instead of multiplying.
-func runCell(spec *Spec, c Cell, interp *drift.Interpolator, shard *obs.Shard, simCap int) (Result, error) {
+// When an artifact directory is configured, sim cells checkpoint at shard
+// granularity into ckpt-<slug>/ beneath it — an interrupted cell resumes
+// below cell granularity on the next run, and a completed cell's campaign
+// removes its own checkpoint directory.
+func runCell(rc RunConfig, c Cell, interp *drift.Interpolator, shard *obs.Shard, simCap int, logw io.Writer) (Result, error) {
+	spec := rc.Spec
 	reg := obs.NewRegistry()
 	cfg := core.Config{
 		SampleShift:   spec.Shift,
@@ -213,6 +278,7 @@ func runCell(spec *Spec, c Cell, interp *drift.Interpolator, shard *obs.Shard, s
 		PacketsPerSec: spec.PPS,
 		Workers:       capWorkers(c.Workers, simCap),
 		Obs:           reg,
+		Ctx:           rc.Ctx,
 	}
 	sim := spec.Mode == "sim"
 	if sim {
@@ -223,6 +289,12 @@ func runCell(spec *Spec, c Cell, interp *drift.Interpolator, shard *obs.Shard, s
 			AdaptiveTimeout: c.Retry.Adaptive,
 			UpstreamBackoff: c.Retry.Backoff,
 			MaxQueuedEvents: spec.MaxEvents,
+		}
+		if rc.ArtifactDir != "" {
+			cfg.Checkpoints = core.CheckpointPlan{
+				Dir: cellCheckpointDir(rc.ArtifactDir, c),
+				Log: logw,
+			}
 		}
 	}
 
@@ -302,6 +374,13 @@ func artifactPath(dir string, c Cell) string {
 	return filepath.Join(dir, "cell-"+c.Slug()+".json")
 }
 
+// cellCheckpointDir is where a sim cell's shard checkpoints live while the
+// cell is in flight (sub-cell resume granularity). The completed campaign
+// removes it; only interrupted cells leave one behind.
+func cellCheckpointDir(dir string, c Cell) string {
+	return filepath.Join(dir, "ckpt-"+c.Slug())
+}
+
 // writeArtifact persists one executed cell, atomically (write + rename),
 // so a sweep killed mid-write never leaves a half artifact that a later
 // -resume would trust.
@@ -337,23 +416,34 @@ func writeArtifact(spec *Spec, res *Result, dir string) error {
 }
 
 // loadArtifact returns the completed result for a cell if a valid artifact
-// for exactly this cell-under-this-spec exists. Any mismatch (version,
-// key, scalars) or decode failure just reports "not resumable" — the cell
-// re-runs and rewrites the artifact.
-func loadArtifact(spec *Spec, c Cell, dir string) (Result, bool) {
+// for exactly this cell-under-this-spec exists. A missing file is the
+// normal "not yet run" case (ok=false, err=nil); a file that exists but
+// cannot be trusted — truncated, corrupt, or written under a different
+// spec — additionally returns the reason so the caller can warn before
+// rerunning the cell. Either way the cell re-runs and rewrites the
+// artifact; damaged state is never loaded.
+func loadArtifact(spec *Spec, c Cell, dir string) (Result, bool, error) {
 	data, err := os.ReadFile(artifactPath(dir, c))
 	if err != nil {
-		return Result{}, false
+		if errors.Is(err, os.ErrNotExist) {
+			return Result{}, false, nil
+		}
+		return Result{}, false, err
 	}
 	var a artifact
 	if err := json.Unmarshal(data, &a); err != nil {
-		return Result{}, false
+		return Result{}, false, fmt.Errorf("corrupt or truncated artifact: %v", err)
 	}
-	if a.Version != artifactVersion || a.Key != c.Key() ||
+	if a.Version != artifactVersion {
+		return Result{}, false, fmt.Errorf("artifact version %d, want %d", a.Version, artifactVersion)
+	}
+	if a.Key != c.Key() ||
 		a.Mode != spec.Mode || a.Shift != spec.Shift || a.Seed != spec.Seed ||
-		a.PPS != spec.PPS || a.MaxEvents != spec.MaxEvents ||
-		a.Digest == "" || a.Report == nil {
-		return Result{}, false
+		a.PPS != spec.PPS || a.MaxEvents != spec.MaxEvents {
+		return Result{}, false, errors.New("artifact was written under a different spec")
+	}
+	if a.Digest == "" || a.Report == nil {
+		return Result{}, false, errors.New("artifact is missing its digest or report")
 	}
 	return Result{
 		Cell:             c,
@@ -366,5 +456,5 @@ func loadArtifact(spec *Spec, c Cell, dir string) (Result, bool) {
 		SubdomainsReused: a.SubdomainsReused,
 		VirtualNanos:     a.VirtualNanos,
 		WallNanos:        a.WallNanos,
-	}, true
+	}, true, nil
 }

@@ -2,10 +2,15 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"openresolver/internal/core"
 	"openresolver/internal/obs"
 )
 
@@ -242,6 +247,156 @@ func TestSweepResume(t *testing.T) {
 		}
 		if reloaded[i].Digest != fresh[i].Digest {
 			t.Errorf("cell %d digest differs between artifact-dir and fresh seed-9 runs", i)
+		}
+	}
+}
+
+// TestSweepTruncatedArtifactWarns is the damaged-artifact regression test:
+// a hand-truncated cell artifact (the classic crash-mid-write debris) must be
+// treated as "rerun this cell" — with a logged warning naming the cell —
+// and the resumed matrix must still be byte-identical to the cold run.
+func TestSweepTruncatedArtifactWarns(t *testing.T) {
+	dir := t.TempDir()
+	coldSpec := smallSpec(t)
+	cold, err := Run(RunConfig{Spec: coldSpec, PoolWorkers: 2, ArtifactDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldText, coldJSON := matrixBytes(t, coldSpec, cold)
+
+	cells, err := coldSpec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := artifactPath(dir, cells[1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	resumeSpec := smallSpec(t)
+	resumed, err := Run(RunConfig{
+		Spec: resumeSpec, PoolWorkers: 2, ArtifactDir: dir, Resume: true, Log: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed[1].Resumed {
+		t.Error("cell 1 resumed from a truncated artifact")
+	}
+	if !strings.Contains(log.String(), "artifact unusable") ||
+		!strings.Contains(log.String(), "rerunning cell") {
+		t.Errorf("truncated artifact produced no warning:\n%s", log.String())
+	}
+	resText, resJSON := matrixBytes(t, resumeSpec, resumed)
+	if !bytes.Equal(coldText, resText) || !bytes.Equal(coldJSON, resJSON) {
+		t.Error("matrix after truncated-artifact rerun differs from cold run")
+	}
+}
+
+// TestSweepInterruptAndResume drives the graceful-shutdown path end to
+// end: a context cancelled mid-sweep stops dispatching, the in-flight cell
+// drains at a shard boundary leaving sub-cell checkpoints, Run hands back
+// partial results with core.ErrInterrupted, completed cells already have
+// artifacts on disk, and a -resume run restores the interrupted cell's
+// checkpointed shards and reproduces the cold matrix byte-for-byte.
+func TestSweepInterruptAndResume(t *testing.T) {
+	coldSpec := smallSpec(t)
+	cold, err := Run(RunConfig{Spec: coldSpec, PoolWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldText, coldJSON := matrixBytes(t, coldSpec, cold)
+
+	// Cancel as soon as the first shard checkpoint of the first cell lands:
+	// mid-cell, between shard boundaries.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stopPoll := make(chan struct{})
+	go func() {
+		defer cancel()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			if m, _ := filepath.Glob(filepath.Join(dir, "ckpt-*", "shard-*.ckpt")); len(m) > 0 {
+				return
+			}
+		}
+	}()
+	intSpec := smallSpec(t)
+	var log bytes.Buffer
+	partial, err := Run(RunConfig{
+		Spec: intSpec, PoolWorkers: 1, ArtifactDir: dir, Ctx: ctx, Log: &log,
+	})
+	close(stopPoll)
+	if err == nil {
+		// The whole sweep outran the poller — possible on a very fast
+		// host; the graceful path then had nothing to interrupt.
+		t.Skip("sweep completed before cancellation landed")
+	}
+	if !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("interrupted sweep returned %v, want core.ErrInterrupted", err)
+	}
+	if len(partial) != len(cold) {
+		t.Fatalf("partial results have %d slots, want %d", len(partial), len(cold))
+	}
+	for i := range partial {
+		if partial[i].Report != nil {
+			if _, statErr := os.Stat(artifactPath(dir, partial[i].Cell)); statErr != nil {
+				t.Errorf("completed cell %d has no artifact on disk: %v", i, statErr)
+			}
+		}
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "ckpt-*", "shard-*.ckpt")); len(m) == 0 {
+		t.Error("interrupted cell left no sub-cell checkpoints behind")
+	}
+
+	var resumeLog bytes.Buffer
+	resumeSpec := smallSpec(t)
+	resumed, err := Run(RunConfig{
+		Spec: resumeSpec, PoolWorkers: 2, ArtifactDir: dir, Resume: true, Log: &resumeLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumeLog.String(), "restored from checkpoint") {
+		t.Errorf("resume did not restore the interrupted cell's shards:\n%s", resumeLog.String())
+	}
+	resText, resJSON := matrixBytes(t, resumeSpec, resumed)
+	if !bytes.Equal(coldText, resText) || !bytes.Equal(coldJSON, resJSON) {
+		t.Error("matrix after interrupt+resume differs from cold run")
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "ckpt-*")); len(m) != 0 {
+		t.Errorf("completed sweep left checkpoint directories behind: %v", m)
+	}
+}
+
+// TestSweepWatchdogFlagsSlowCell pins the watchdog contract: a cell
+// running longer than the threshold is flagged on the log — and only
+// flagged, never killed (the sweep still completes with correct output).
+func TestSweepWatchdogFlagsSlowCell(t *testing.T) {
+	var log bytes.Buffer
+	spec := smallSpec(t)
+	results, err := Run(RunConfig{
+		Spec: spec, PoolWorkers: 1, Watchdog: time.Nanosecond, Log: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "stuck?") {
+		t.Errorf("1ns watchdog never fired:\n%s", log.String())
+	}
+	for i := range results {
+		if results[i].Report == nil {
+			t.Errorf("cell %d was killed by the watchdog; it must only warn", i)
 		}
 	}
 }

@@ -122,6 +122,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if baselines, err = selectNewest(baselines); err != nil {
 			return err
 		}
+		if baselines == nil {
+			// A repo with no checked-in BENCH_PR<n>.json yet (first PR, or a
+			// fresh clone before any baseline lands) has nothing to gate
+			// against; that is advisory, not an error — CI must stay green.
+			fmt.Fprintln(stdout, "benchdiff: -newest: no BENCH_PR<n>.json baseline found; skipping the bench gate (advisory until a baseline is checked in)")
+			return nil
+		}
 	}
 	return gate(*freshPath, *maxRatio, *allocRatio, baselines, stdout)
 }
@@ -133,8 +140,9 @@ var benchPRPattern = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
 // basename matches BENCH_PR<n>.json, only the numerically highest n survives
 // (the glob BENCH_PR*.json can then be passed without hand-updating the
 // makefile each PR). Arguments that don't match the pattern pass through
-// untouched. It is an error if no argument matches — a silent empty
-// selection would skip the gate entirely.
+// untouched. When no argument matches it returns a nil slice — the caller
+// announces the skip loudly and treats the gate as advisory, because an
+// unexpanded glob (a repo with no baseline checked in yet) must not fail CI.
 func selectNewest(paths []string) ([]string, error) {
 	bestN := -1
 	best := ""
@@ -154,7 +162,7 @@ func selectNewest(paths []string) ([]string, error) {
 		}
 	}
 	if bestN < 0 {
-		return nil, errors.New("-newest: no BENCH_PR<n>.json baseline among arguments")
+		return nil, nil
 	}
 	return append(rest, best), nil
 }
