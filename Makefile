@@ -18,6 +18,8 @@
 #   make cover      test suite with coverage profile + per-function summary
 #   make doccheck   every package documented (go vet + scripts/doccheck)
 #   make smoke      2×2 orsweep grid: pinned baseline digest + pool invariance
+#   make serve-smoke  same grid through the orserved HTTP API: pinned
+#                   digest, digest-cache hit, clean SIGTERM drain
 #   make benchdiff  fresh benchmarks vs checked-in baselines (regression gate)
 #   make ci         exactly what .github/workflows/ci.yml runs
 
@@ -42,7 +44,7 @@ SMOKE_DIR ?= smoke-out
 # the campaign bytes.
 SMOKE_BASELINE := d19bd873ab802eecb15921fb73145c7ca0ae4b5eed4d5b6aa670791ad1557d47
 
-.PHONY: all build test chaos race crash-matrix vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke ci
+.PHONY: all build test chaos race crash-matrix vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke serve-smoke ci
 
 all: build vet test
 
@@ -74,7 +76,8 @@ chaos:
 race:
 	$(GO) test -race ./internal/core/... ./internal/analysis/... \
 		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/... \
-		./internal/obs/... ./internal/sweep/... ./internal/sigctx/...
+		./internal/obs/... ./internal/sweep/... ./internal/sigctx/... \
+		./internal/serve/...
 
 # Process-crash fault injection (DESIGN.md §13): the crash matrix re-execs
 # the test binary as a campaign child, kills it with SIGKILL at seeded-random
@@ -95,7 +98,8 @@ cover:
 # Documentation gate: go vet plus a parser-level check that every package
 # under internal/ and cmd/ carries a package doc comment.
 doccheck: vet
-	$(GO) run ./scripts/doccheck ./internal ./cmd
+	$(GO) run ./scripts/doccheck -api API.md -routes internal/serve/router.go \
+		./internal ./cmd ./scripts
 
 bench:
 	$(GO) test -run '^$$' -bench 'CampaignSynthetic(Serial|Parallel)' -benchmem -count $(BENCH_COUNT) . \
@@ -151,9 +155,15 @@ smoke:
 	grep -q '"digest": "$(SMOKE_BASELINE)"' $(SMOKE_DIR)/matrix1.json
 	@echo "smoke: matrix invariant across pool sizes; baseline digest pinned"
 
+# Service smoke: boot the orserved daemon, run the same smoke grid through
+# the HTTP API, and assert the pinned baseline digest, a digest-cache hit
+# on resubmission, and a clean SIGTERM drain.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke -baseline $(SMOKE_BASELINE)
+
 # The CI gauntlet, runnable locally: exactly the blocking jobs of
 # .github/workflows/ci.yml (the workflow adds a non-blocking benchdiff).
-ci: build vet test race chaos crash-matrix doccheck smoke
+ci: build vet test race chaos crash-matrix doccheck smoke serve-smoke
 
 # CPU and heap profiles for pprof — by default the simulated campaign:
 #   go tool pprof $(PROFILE_DIR)/cpu.out

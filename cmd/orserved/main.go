@@ -1,0 +1,136 @@
+// Command orserved is the resolver-observatory service daemon: an
+// HTTP/JSON API over the campaign and sweep engines. Clients POST the same
+// declarative grid specs orsweep runs (spec-file text or structured
+// fields); the daemon executes them as concurrent bounded jobs over a
+// shared worker budget with per-tenant token-bucket admission control,
+// streams progress and partial result matrices mid-run, supports
+// cooperative cancel and checkpointed resume, and content-address-caches
+// completed results so an identical (spec, seed) submission returns
+// instantly. Result tables are byte-identical to the same spec run through
+// orsweep. The full API is documented in API.md.
+//
+// Usage:
+//
+//	orserved [-addr host:port] [-addr-file path] [-state-dir dir]
+//	         [-max-jobs N] [-workers N] [-cache-entries N]
+//	         [-tenant-rate R] [-tenant-burst B] [-tenant-max-active N]
+//
+// SIGINT/SIGTERM drain the daemon gracefully: new submissions are refused
+// with 503, running jobs stop at their next shard boundary and checkpoint
+// under -state-dir, and the HTTP server shuts down once in-flight requests
+// finish. A second signal force-quits. Because job state is content-
+// addressed by spec under -state-dir, a restarted daemon resumes any
+// resubmitted spec from where the drain stopped it.
+//
+// Examples:
+//
+//	orserved -addr :8080 -state-dir /var/lib/orserved
+//	curl -s localhost:8080/healthz
+//	curl -s -XPOST localhost:8080/v1/jobs -d '{"years":["2018"],"loss":["none"],"retry":["2+adaptive"],"shift":16}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"openresolver/internal/obs"
+	"openresolver/internal/serve"
+	"openresolver/internal/sigctx"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "orserved:", err)
+		os.Exit(1)
+	}
+}
+
+// serving is called with the bound address once the API is accepting
+// requests. Tests hook it to drive the live daemon.
+var serving = func(addr string) {}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("orserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address for the HTTP API (use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once serving (for scripts wrapping -addr :0)")
+	stateDir := fs.String("state-dir", "", "job artifact and checkpoint directory (empty = a fresh temporary directory)")
+	maxJobs := fs.Int("max-jobs", 2, "jobs executing concurrently; further submissions queue in order")
+	workers := fs.Int("workers", 0, "total cell-pool budget shared by running jobs (0 = all cores)")
+	cacheEntries := fs.Int("cache-entries", 0, "completed results kept in the digest cache (0 = 64)")
+	tenantRate := fs.Float64("tenant-rate", 0, "sustained submissions per second admitted per tenant (0 = unlimited)")
+	tenantBurst := fs.Float64("tenant-burst", 0, "token-bucket burst capacity per tenant (0 = max(1, -tenant-rate))")
+	tenantMaxActive := fs.Int("tenant-max-active", 0, "queued+running jobs allowed per tenant (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	reg := obs.NewRegistry()
+	reg.Publish("openresolver")
+	mgr, err := serve.NewManager(serve.Config{
+		StateDir:     *stateDir,
+		MaxJobs:      *maxJobs,
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		Tenant: serve.TenantPolicy{
+			SubmitsPerSec: *tenantRate,
+			Burst:         *tenantBurst,
+			MaxActive:     *tenantMaxActive,
+		},
+		Obs: reg,
+		Log: stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	srv := &http.Server{Handler: serve.NewHandler(mgr)}
+
+	ctx, cancel := sigctx.New("orserved", stderr)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "orserved: serving on http://%s (state in %s)\n", ln.Addr(), mgr.StateDir())
+	serving(ln.Addr().String())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop admitting work, let running jobs checkpoint at
+	// their next shard boundary, then close the HTTP server once in-flight
+	// requests have been answered.
+	fmt.Fprintln(stderr, "orserved: draining — cancelling jobs at their next shard boundary")
+	mgr.Drain()
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+	defer stop()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "orserved: drained; state preserved in", mgr.StateDir())
+	return nil
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle boots the real daemon on an ephemeral port and walks
+// the whole service contract: health, submission, completion, the digest
+// cache on resubmission, and a SIGTERM drain that exits cleanly. The same
+// self-signal pattern as internal/sigctx's own test drives the shutdown.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ready := make(chan string, 1)
+	serving = func(addr string) { ready <- addr }
+	defer func() { serving = func(string) {} }()
+
+	var errb lockedBuffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-state-dir", filepath.Join(dir, "state"),
+			"-max-jobs", "2",
+		}, &errb)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before serving: %v\n%s", err, errb.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started serving")
+	}
+	base := "http://" + addr
+
+	if data, err := os.ReadFile(addrFile); err != nil || string(data) != addr {
+		t.Errorf("-addr-file holds %q (err %v), want %q", data, err, addr)
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Submit the fast 2×2 shift-16 grid and poll it to completion.
+	spec := `{"loss":["none","loss:0.3"],"retry":["0","2+adaptive"],"shift":16,"seed":1}`
+	code, body := post(t, base+"/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, body)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Cells int    `json:"cells"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Cells != 4 {
+		t.Fatalf("job has %d cells, want 4", job.Cells)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		code, body = get(t, base+"/v1/jobs/"+job.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, matrix := get(t, base+"/v1/jobs/"+job.ID+"/result?format=text")
+	if code != http.StatusOK || !strings.Contains(string(matrix), "sweep matrix: mode=sim shift=16 seed=1 cells=4") {
+		t.Fatalf("result (status %d) is not the sweep matrix:\n%s", code, matrix)
+	}
+
+	// The identical grid resubmitted is a cache hit: 200, born done.
+	code, body = post(t, base+"/v1/jobs", spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmission: status %d, want 200 (cache hit): %s", code, body)
+	}
+	var hit struct {
+		Cached bool   `json:"cached"`
+		State  string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.State != "done" {
+		t.Fatalf("resubmission not served from cache: %s", body)
+	}
+
+	// SIGTERM drains: the daemon refuses new work, shuts the listener
+	// down, and run() returns nil.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drained daemon exited with %v\n%s", err, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	out := errb.String()
+	for _, want := range []string{"serving on http://", "draining", "drained"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon stderr missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDaemonFlagErrors: bad invocations fail fast instead of serving.
+func TestDaemonFlagErrors(t *testing.T) {
+	var errb bytes.Buffer
+	if err := run([]string{"stray"}, &errb); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if err := run([]string{"-addr", "300.300.300.300:0"}, &errb); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// lockedBuffer keeps the daemon goroutine's stderr writes race-free with
+// the test's reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

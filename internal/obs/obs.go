@@ -52,6 +52,18 @@ const (
 	CSimTimerRing // timer arms accepted by the monotone ring fast path
 	CSimTimerHeap // timer arms that fell back to the heap
 
+	// Observatory service daemon (internal/serve). These count API-level
+	// job traffic on the daemon's own registry; each job additionally runs
+	// against a private per-job registry carrying the campaign counters
+	// above. Appended so existing snapshot orderings are unchanged.
+	CServeSubmitted // job specs accepted by the manager
+	CServeCacheHits // submissions served from the digest cache without a run
+	CServeDenied    // submissions rejected by tenant admission control
+	CServeCompleted // jobs that ran to completion
+	CServeFailed    // jobs that ended in an error
+	CServeCancelled // jobs stopped at a shard boundary by cancel/drain
+	CServeCellsDone // sweep cells completed across all jobs
+
 	NumCounters // array size; not a real counter
 )
 
@@ -83,6 +95,13 @@ var counterNames = [NumCounters]string{
 	CSynthBytes:       "synth.bytes",
 	CSimTimerRing:     "sim.timer_ring",
 	CSimTimerHeap:     "sim.timer_heap",
+	CServeSubmitted:   "serve.submitted",
+	CServeCacheHits:   "serve.cache_hits",
+	CServeDenied:      "serve.denied",
+	CServeCompleted:   "serve.completed",
+	CServeFailed:      "serve.failed",
+	CServeCancelled:   "serve.cancelled",
+	CServeCellsDone:   "serve.cells_done",
 }
 
 // CounterName returns the stable dotted name of c.

@@ -20,17 +20,13 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve binds addr and serves r's observability surface until Close. The
-// registry snapshot is also published to expvar as "openresolver" so it
-// shows up in /debug/vars next to the runtime's memstats.
-func Serve(addr string, r *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
-	r.Publish("openresolver")
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+// MetricsHandler returns the /metrics endpoint for r: a JSON snapshot by
+// default, switched to the OpenMetrics text exposition when the Accept
+// header asks for it. It is the handler obs.Serve mounts, exported so a
+// host process with its own router (cmd/orserved) can mount the identical
+// endpoint without binding a second listener.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		// Content negotiation: Prometheus (Accept: openmetrics-text or
 		// text/plain) gets the text exposition; everything else keeps the
 		// JSON snapshot, which was the endpoint's original contract.
@@ -49,12 +45,36 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	})
+}
+
+// DebugHandler returns the debug surface obs.Serve mounts under /debug/:
+// expvar at /debug/vars and net/http/pprof under /debug/pprof/. Like
+// MetricsHandler it exists so a host router can mount the surface without
+// a second listener; the handler routes by full request path, so mount it
+// at /debug/.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves r's observability surface until Close. The
+// registry snapshot is also published to expvar as "openresolver" so it
+// shows up in /debug/vars next to the runtime's memstats.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	r.Publish("openresolver")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/", DebugHandler())
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -1,0 +1,67 @@
+package serve
+
+import "sync"
+
+// cacheEntry is one completed sweep, content-addressed by its SpecKey.
+// The rendered matrix bytes are stored verbatim — a cache hit serves the
+// exact bytes the original run produced, so cached and fresh responses are
+// byte-identical by construction. Digests carries every cell's
+// core.FaultDigest in grid order: the same constants the golden tests pin,
+// making a cached result cross-checkable against a standalone campaign.
+type cacheEntry struct {
+	SpecKey    string
+	JobID      string // job whose run produced the entry
+	Digests    []string
+	MatrixJSON []byte
+	MatrixText []byte
+}
+
+// digestCache maps spec keys to completed results with FIFO eviction.
+// Entries are immutable once stored; the bound exists only to keep a
+// long-running daemon's memory proportional to recent traffic, not to
+// correctness — an evicted spec simply re-runs (and its per-cell artifacts
+// under the state directory still short-circuit most of the work).
+type digestCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*cacheEntry
+	order   []string
+}
+
+func newDigestCache(limit int) *digestCache {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &digestCache{limit: limit, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the completed entry for key, or nil.
+func (c *digestCache) get(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[key]
+}
+
+// put stores a completed entry, evicting the oldest once over the bound.
+// A racing duplicate (two jobs of the same spec finishing together) keeps
+// the first entry; both carry identical bytes, so either is correct.
+func (c *digestCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[e.SpecKey]; ok {
+		return
+	}
+	c.entries[e.SpecKey] = e
+	c.order = append(c.order, e.SpecKey)
+	for len(c.order) > c.limit {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// len reports the number of cached sweeps.
+func (c *digestCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

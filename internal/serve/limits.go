@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TenantPolicy bounds what one tenant may ask of the daemon. Admission
+// control is a per-tenant token bucket with the same credit discipline as
+// the prober's packets-per-second budget (internal/prober): tokens accrue
+// fractionally with elapsed time up to a burst capacity and each admitted
+// submission consumes one, so sustained submission rate converges on
+// SubmitsPerSec while short bursts up to Burst pass immediately. MaxActive
+// additionally caps how many of a tenant's jobs may be queued or running
+// at once — the backstop that keeps one tenant from occupying the whole
+// job pool with slow campaigns even while submitting under the rate.
+type TenantPolicy struct {
+	// SubmitsPerSec is the sustained submission rate per tenant. 0
+	// disables rate limiting (every submission is admitted).
+	SubmitsPerSec float64
+	// Burst is the bucket capacity. 0 defaults to max(1, SubmitsPerSec).
+	Burst float64
+	// MaxActive caps a tenant's queued+running jobs. 0 means unlimited.
+	MaxActive int
+}
+
+// burst returns the effective bucket capacity.
+func (p TenantPolicy) burst() float64 {
+	if p.Burst > 0 {
+		return p.Burst
+	}
+	if p.SubmitsPerSec > 1 {
+		return p.SubmitsPerSec
+	}
+	return 1
+}
+
+// bucket is one tenant's admission state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	active int
+}
+
+// tenantLimiter applies one TenantPolicy across all tenants. Buckets are
+// created on first sight of a tenant name; the zero tenant ("") is mapped
+// to "default" by the manager before it gets here.
+type tenantLimiter struct {
+	policy TenantPolicy
+	now    func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newTenantLimiter(p TenantPolicy, now func() time.Time) *tenantLimiter {
+	return &tenantLimiter{policy: p, now: now, buckets: make(map[string]*bucket)}
+}
+
+// admit charges one submission to the tenant, or explains the refusal.
+// An admitted job holds one active slot until release.
+func (l *tenantLimiter) admit(tenant string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.policy.burst(), last: now}
+		l.buckets[tenant] = b
+	}
+	if l.policy.MaxActive > 0 && b.active >= l.policy.MaxActive {
+		return fmt.Errorf("%w: tenant %q already has %d active jobs (limit %d)",
+			ErrAdmission, tenant, b.active, l.policy.MaxActive)
+	}
+	if l.policy.SubmitsPerSec > 0 {
+		// Refill: fractional credits per elapsed second, capped at burst —
+		// the prober's token discipline on a wall clock.
+		b.tokens += now.Sub(b.last).Seconds() * l.policy.SubmitsPerSec
+		if limit := l.policy.burst(); b.tokens > limit {
+			b.tokens = limit
+		}
+		b.last = now
+		if b.tokens < 1 {
+			return fmt.Errorf("%w: tenant %q over its submission rate (%.3g/s)",
+				ErrAdmission, tenant, l.policy.SubmitsPerSec)
+		}
+		b.tokens--
+	}
+	b.active++
+	return nil
+}
+
+// release returns the tenant's active slot when its job reaches a
+// terminal state.
+func (l *tenantLimiter) release(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[tenant]; b != nil && b.active > 0 {
+		b.active--
+	}
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"openresolver/internal/obs"
+)
+
+// NewHandler builds the daemon's HTTP API over a manager. Routes use Go
+// 1.22 method+path patterns; scripts/doccheck cross-checks the string
+// literals below against the route table in API.md, so the two cannot
+// drift apart silently. Tenancy is declared per request with the X-Tenant
+// header (absent means tenant "default"); errors are {"error": "..."}
+// JSON with a status from the manager's error taxonomy.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":       true,
+			"draining": m.Draining(),
+		})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var js JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&js); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		v, err := m.Submit(r.Header.Get("X-Tenant"), &js)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		// A digest-cache hit is born done and returns 200 with the final
+		// view; a fresh or deduplicated submission is accepted as 202.
+		status := http.StatusAccepted
+		if v.State == JobDone {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, v)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		js, txt, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		// ?format=text returns the orsweep terminal rendering; the default
+		// is the matrix JSON. Both are the stored run's bytes verbatim.
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write(txt)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(js)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		matrix, err := m.Progress(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			matrix.RenderText(w)
+			return
+		}
+		js, err := matrix.JSON()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(js)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg, err := m.JobRegistry(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		// The per-job registry reuses the obs snapshot/merge path, so a
+		// running job serves a consistent mid-run snapshot of its campaign
+		// counters (JSON or OpenMetrics by Accept header). A nil registry
+		// (job never dispatched) renders as an empty snapshot.
+		obs.MetricsHandler(reg).ServeHTTP(w, r)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Resume(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+	mux.Handle("GET /metrics", obs.MetricsHandler(m.Registry()))
+	mux.Handle("GET /debug/", obs.DebugHandler())
+	return mux
+}
+
+// statusFor maps the manager's error taxonomy onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrAdmission):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotDone), errors.Is(err, ErrNotResumable):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest // spec validation errors
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

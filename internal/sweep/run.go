@@ -71,6 +71,15 @@ type RunConfig struct {
 	// (checkpointing sub-cell progress when ArtifactDir is set), and Run
 	// returns the completed results alongside core.ErrInterrupted.
 	Ctx context.Context
+	// OnCell, when non-nil, observes every completed cell the moment its
+	// result is final — executed, loaded from an artifact on resume, or
+	// both. It is the streaming seam the observatory daemon uses to render
+	// partial matrices mid-run. Calls may come from concurrent pool
+	// workers, so the callback must be safe for concurrent use; it must
+	// not mutate the Result. Like Log, nothing it observes is part of the
+	// deterministic matrix — the final result slice is always rendered in
+	// cell order regardless of completion order.
+	OnCell func(Result)
 	// Watchdog, when positive, flags any cell still running after the
 	// duration with a "stuck?" note on Log. It only ever warns — a slow
 	// cell is never killed, because killing it would make the sweep's
@@ -163,6 +172,9 @@ func Run(rc RunConfig) ([]Result, error) {
 				res.Resumed = true
 				results[c.Index] = res
 				fmt.Fprintf(logw, "orsweep: cell %d (%s) resumed from artifact\n", c.Index, c.Key())
+				if rc.OnCell != nil {
+					rc.OnCell(res)
+				}
 				continue
 			}
 			if lerr != nil {
@@ -227,6 +239,9 @@ func Run(rc RunConfig) ([]Result, error) {
 				results[c.Index] = res
 				fmt.Fprintf(logw, "orsweep: cell %d (%s) done in %v\n",
 					c.Index, c.Key(), time.Duration(res.WallNanos).Round(time.Millisecond))
+				if rc.OnCell != nil {
+					rc.OnCell(res)
+				}
 			}
 		}()
 	}

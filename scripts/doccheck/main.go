@@ -1,38 +1,57 @@
-// Command doccheck verifies that every Go package under the given root
-// directories carries a package doc comment — the documentation gate
-// behind `make doccheck`. It parses comments only (no type checking), so
-// it runs in milliseconds; a package documents itself if any of its
-// non-test files has a doc comment attached to the package clause.
+// Command doccheck is the documentation gate behind `make doccheck`. It
+// performs two checks, both comment/AST-level (no type checking), so it
+// runs in milliseconds:
+//
+//  1. Every Go package under the given root directories carries a package
+//     doc comment — a package documents itself if any of its non-test
+//     files has a doc comment attached to the package clause.
+//  2. With -api and -routes, the HTTP API reference stays in sync with the
+//     router: every Go 1.22 "METHOD /path" pattern registered as a string
+//     literal in the routes file must appear in a backtick code span in
+//     the API document, and every "METHOD /path" code span in the document
+//     must be registered in the router. Routes can only drift from their
+//     documentation by failing CI.
+//
+// Usage:
+//
+//	doccheck [-api API.md -routes internal/serve/router.go] [root ...]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
-	roots := os.Args[1:]
+	apiDoc := flag.String("api", "", "API reference document to cross-check against -routes")
+	routesFile := flag.String("routes", "", "Go source file whose string-literal route patterns must match -api")
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"./internal", "./cmd"}
 	}
+
+	failed := false
 	var undocumented []string
 	for _, root := range roots {
 		dirs, err := packageDirs(root)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "doccheck:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		for _, dir := range dirs {
 			ok, err := documented(dir)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "doccheck:", err)
-				os.Exit(2)
+				fatal(err)
 			}
 			if !ok {
 				undocumented = append(undocumented, dir)
@@ -44,8 +63,115 @@ func main() {
 		for _, dir := range undocumented {
 			fmt.Fprintf(os.Stderr, "doccheck: %s: no package doc comment\n", dir)
 		}
+		failed = true
+	}
+
+	if (*apiDoc == "") != (*routesFile == "") {
+		fatal(fmt.Errorf("-api and -routes must be given together"))
+	}
+	if *apiDoc != "" {
+		if err := checkRoutes(*apiDoc, *routesFile); err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(2)
+}
+
+// routePattern recognizes Go 1.22 ServeMux method+path patterns.
+var routePattern = regexp.MustCompile(`^(GET|POST|PUT|PATCH|DELETE|HEAD|OPTIONS) /\S*$`)
+
+// checkRoutes cross-checks the router's registered patterns against the
+// API document's backtick code spans, in both directions.
+func checkRoutes(apiDoc, routesFile string) error {
+	registered, err := sourceRoutes(routesFile)
+	if err != nil {
+		return err
+	}
+	if len(registered) == 0 {
+		return fmt.Errorf("%s registers no method+path route literals; is it the right file?", routesFile)
+	}
+	documentedRoutes, err := docRoutes(apiDoc)
+	if err != nil {
+		return err
+	}
+	var problems []string
+	for _, r := range sortedKeys(registered) {
+		if !documentedRoutes[r] {
+			problems = append(problems, fmt.Sprintf("route %q is registered in %s but not documented in %s", r, routesFile, apiDoc))
+		}
+	}
+	for _, r := range sortedKeys(documentedRoutes) {
+		if !registered[r] {
+			problems = append(problems, fmt.Sprintf("route %q is documented in %s but not registered in %s", r, apiDoc, routesFile))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("API reference out of sync:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// sourceRoutes parses the router source and collects every string literal
+// that looks like a mux method+path pattern.
+func sourceRoutes(path string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	routes := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if routePattern.MatchString(s) {
+			routes[s] = true
+		}
+		return true
+	})
+	return routes, nil
+}
+
+// docRoutes collects every backtick code span in the document that looks
+// like a method+path pattern (`GET /v1/jobs/{id}` and friends). Fenced
+// code blocks are stripped first — their triple backticks would otherwise
+// flip the pairing of every inline span after them, and example payloads
+// inside fences are not route declarations.
+func docRoutes(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := regexp.MustCompile("(?s)```.*?```").ReplaceAllString(string(data), "")
+	routes := map[string]bool{}
+	for _, span := range regexp.MustCompile("`([^`]+)`").FindAllStringSubmatch(text, -1) {
+		if routePattern.MatchString(span[1]) {
+			routes[span[1]] = true
+		}
+	}
+	return routes, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // packageDirs returns every directory under root containing at least one

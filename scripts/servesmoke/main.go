@@ -1,0 +1,179 @@
+// Command servesmoke is the CI smoke harness for the orserved daemon: the
+// service-level twin of "make smoke". It builds orserved, boots it on an
+// ephemeral port, submits the smoke grid (2018/2013 × pristine/20% loss at
+// the golden scale) through the HTTP API, polls the job to completion, and
+// asserts three things: the loss-free 2018 baseline cell reproduces the
+// pinned smoke digest (proving API jobs are byte-compatible with orsweep
+// campaigns), an identical resubmission is served from the digest cache
+// without re-running, and a SIGTERM drains the daemon to a clean exit.
+//
+// Usage:
+//
+//	go run ./scripts/servesmoke [-baseline HEX] [-timeout DUR]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const defaultBaseline = "d19bd873ab802eecb15921fb73145c7ca0ae4b5eed4d5b6aa670791ad1557d47"
+
+// smokeSpec is the API spelling of the "make smoke" orsweep invocation.
+const smokeSpec = `{"years":["2018","2013"],"loss":["none","loss:0.2"],"shift":14,"seed":1}`
+
+func main() {
+	baseline := flag.String("baseline", defaultBaseline,
+		"pinned FaultDigest of the loss-free 2018 smoke cell")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Parse()
+	if err := run(*baseline, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok — baseline digest pinned, cache hit served, drain clean")
+}
+
+func run(baseline string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	dir, err := os.MkdirTemp("", "servesmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "orserved")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/orserved")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building orserved: %w", err)
+	}
+
+	addrFile := filepath.Join(dir, "addr")
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-state-dir", filepath.Join(dir, "state"),
+	)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	defer daemon.Process.Kill() // no-op after a clean Wait
+
+	// The daemon writes its bound address once it is accepting requests.
+	var base string
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base = "http://" + string(data)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon never wrote %s", addrFile)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("servesmoke: daemon on", base)
+
+	code, body, err := request("POST", base+"/v1/jobs", smokeSpec)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d: %s", code, body)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		return err
+	}
+	fmt.Println("servesmoke: job", job.ID, "accepted; polling")
+	for job.State != "done" {
+		switch job.State {
+		case "failed", "cancelled":
+			return fmt.Errorf("job %s ended %s: %s", job.ID, job.State, body)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %s", job.ID, job.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+		if code, body, err = request("GET", base+"/v1/jobs/"+job.ID, ""); err != nil || code != http.StatusOK {
+			return fmt.Errorf("poll: status %d, err %v", code, err)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			return err
+		}
+	}
+
+	// The baseline cell's digest must be pinned in the result matrix.
+	code, matrix, err := request("GET", base+"/v1/jobs/"+job.ID+"/result", "")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("result: status %d, err %v", code, err)
+	}
+	if !strings.Contains(string(matrix), fmt.Sprintf("%q: %q", "digest", baseline)) {
+		return fmt.Errorf("baseline digest %s missing from the result matrix:\n%s", baseline, matrix)
+	}
+	fmt.Println("servesmoke: baseline digest pinned")
+
+	// Identical resubmission: served from the digest cache, born done.
+	code, body, err = request("POST", base+"/v1/jobs", smokeSpec)
+	if err != nil {
+		return err
+	}
+	var hit struct {
+		Cached bool   `json:"cached"`
+		State  string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &hit); err != nil {
+		return err
+	}
+	if code != http.StatusOK || !hit.Cached || hit.State != "done" {
+		return fmt.Errorf("resubmission not a cache hit (status %d): %s", code, body)
+	}
+	fmt.Println("servesmoke: resubmission served from the digest cache")
+
+	// SIGTERM drains the daemon; a clean exit is part of the contract.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- daemon.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(time.Until(deadline)):
+		return fmt.Errorf("daemon did not exit after SIGTERM")
+	}
+	return nil
+}
+
+func request(method, url, body string) (int, []byte, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
