@@ -20,6 +20,10 @@
 #   make smoke      2×2 orsweep grid: pinned baseline digest + pool invariance
 #   make serve-smoke  same grid through the orserved HTTP API: pinned
 #                   digest, digest-cache hit, clean SIGTERM drain
+#   make fabric-smoke  same grid through a real coordinator + 3 worker
+#                   processes: byte-identical to single-process, pinned
+#                   digest, and a SIGKILLed worker's shard must requeue
+#                   and converge
 #   make benchdiff  fresh benchmarks vs checked-in baselines (regression gate)
 #   make ci         exactly what .github/workflows/ci.yml runs
 
@@ -35,6 +39,7 @@ PROFILE_PKG ?= .
 PROFILE_BENCH ?= CampaignSimulated
 COVER_OUT ?= cover.out
 SMOKE_DIR ?= smoke-out
+FABRIC_LOG_DIR ?= fabric-smoke-logs
 
 # The loss-free 2018 cell of the smoke grid below, pinned. It is the
 # FaultDigest of RunSimulation(year=2018, shift=14, seed=1) — the same
@@ -44,7 +49,7 @@ SMOKE_DIR ?= smoke-out
 # the campaign bytes.
 SMOKE_BASELINE := d19bd873ab802eecb15921fb73145c7ca0ae4b5eed4d5b6aa670791ad1557d47
 
-.PHONY: all build test chaos race crash-matrix vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke serve-smoke ci
+.PHONY: all build test chaos race crash-matrix vet bench bench-sim bench-batch benchdiff profile cover doccheck smoke serve-smoke fabric-smoke ci
 
 all: build vet test
 
@@ -77,7 +82,7 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/analysis/... \
 		./internal/netsim/... ./internal/prober/... ./internal/dnssrv/... \
 		./internal/obs/... ./internal/sweep/... ./internal/sigctx/... \
-		./internal/serve/...
+		./internal/serve/... ./internal/fabric/...
 
 # Process-crash fault injection (DESIGN.md §13): the crash matrix re-execs
 # the test binary as a campaign child, kills it with SIGKILL at seeded-random
@@ -96,9 +101,13 @@ cover:
 	$(GO) tool cover -func $(COVER_OUT) | tail -n 1
 
 # Documentation gate: go vet plus a parser-level check that every package
-# under internal/ and cmd/ carries a package doc comment.
+# under internal/ and cmd/ carries a package doc comment, that the API
+# reference matches the router, and that each CLI's README flag table
+# matches the flags it actually registers.
 doccheck: vet
 	$(GO) run ./scripts/doccheck -api API.md -routes internal/serve/router.go \
+		-flagdoc README.md -flagcli cmd/orsweep -flagcli cmd/orserved \
+		-flagcli cmd/orfabric \
 		./internal ./cmd ./scripts
 
 bench:
@@ -161,9 +170,21 @@ smoke:
 serve-smoke:
 	$(GO) run ./scripts/servesmoke -baseline $(SMOKE_BASELINE)
 
+# Fabric smoke: the multi-process twin of `make smoke`. One coordinator
+# process + three worker processes on loopback run the same 2×2 grid;
+# every cell must be byte-identical to the single-process run and the
+# loss-free 2018 cell must reproduce the pinned digest. A second pass
+# SIGKILLs a worker mid-campaign and requires the requeued shard to
+# converge to the identical output. Coordinator/worker stderr lands in
+# $(FABRIC_LOG_DIR) so CI can attach it to failures.
+fabric-smoke:
+	rm -rf $(FABRIC_LOG_DIR) && mkdir -p $(FABRIC_LOG_DIR)
+	$(GO) run ./scripts/fabricsmoke -baseline $(SMOKE_BASELINE) \
+		-logdir $(FABRIC_LOG_DIR)
+
 # The CI gauntlet, runnable locally: exactly the blocking jobs of
 # .github/workflows/ci.yml (the workflow adds a non-blocking benchdiff).
-ci: build vet test race chaos crash-matrix doccheck smoke serve-smoke
+ci: build vet test race chaos crash-matrix doccheck smoke serve-smoke fabric-smoke
 
 # CPU and heap profiles for pprof — by default the simulated campaign:
 #   go tool pprof $(PROFILE_DIR)/cpu.out

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"openresolver/internal/fabric"
+)
+
+// TestDaemonFabricBackend pins -fabric-addr: the daemon runs a fabric
+// coordinator, sim cells are leased to workers that dial in, and the
+// result matrix is byte-identical to the same spec run by an ordinary
+// in-process daemon. The two daemons run sequentially because SIGTERM is
+// process-wide.
+func TestDaemonFabricBackend(t *testing.T) {
+	const spec = `{"loss":["none","loss:0.3"],"retry":["0"],"shift":16,"seed":1}`
+	plain := daemonMatrix(t, spec, nil)
+	fabricMatrix := daemonMatrix(t, spec, func(t *testing.T, coordAddr string, done <-chan struct{}) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fabric.RunWorker(ctx, fabric.WorkerConfig{Addr: coordAddr, Name: fmt.Sprintf("test-w%d", i)})
+			}(i)
+		}
+		go func() {
+			<-done
+			cancel()
+			wg.Wait()
+		}()
+	})
+	if plain != fabricMatrix {
+		t.Errorf("fabric-backed matrix differs from the in-process matrix\n--- in-process ---\n%s\n--- fabric ---\n%s", plain, fabricMatrix)
+	}
+	if !strings.Contains(plain, "sweep matrix:") {
+		t.Errorf("unexpected matrix output:\n%s", plain)
+	}
+}
+
+// daemonMatrix boots one daemon (with -fabric-addr when workers is
+// non-nil), runs spec to completion, returns the text matrix, and drains
+// the daemon. The workers hook receives the coordinator address and a
+// channel closed when the job is done.
+func daemonMatrix(t *testing.T, spec string, workers func(t *testing.T, coordAddr string, done <-chan struct{})) string {
+	t.Helper()
+	dir := t.TempDir()
+	ready := make(chan string, 1)
+	serving = func(addr string) { ready <- addr }
+	defer func() { serving = func(string) {} }()
+	jobDone := make(chan struct{})
+
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-state-dir", filepath.Join(dir, "state"),
+	}
+	if workers != nil {
+		coordReady := make(chan string, 1)
+		fabricUp = func(addr string) { coordReady <- addr }
+		defer func() { fabricUp = func(string) {} }()
+		args = append(args, "-fabric-addr", "127.0.0.1:0")
+		go func() {
+			select {
+			case addr := <-coordReady:
+				workers(t, addr, jobDone)
+			case <-time.After(30 * time.Second):
+				t.Error("fabric coordinator never came up")
+			}
+		}()
+	}
+
+	var errb lockedBuffer
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(args, &errb) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before serving: %v\n%s", err, errb.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started serving")
+	}
+	base := "http://" + addr
+
+	code, body := post(t, base+"/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, body)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s\n%s", job.State, errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+		code, body = get(t, base+"/v1/jobs/"+job.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, matrix := get(t, base+"/v1/jobs/"+job.ID+"/result?format=text")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	close(jobDone)
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drained daemon exited with %v\n%s", err, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if workers != nil && !strings.Contains(errb.String(), "fabric coordinator on") {
+		t.Errorf("daemon stderr missing the coordinator banner:\n%s", errb.String())
+	}
+	return string(matrix)
+}

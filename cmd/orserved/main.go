@@ -14,6 +14,12 @@
 //	orserved [-addr host:port] [-addr-file path] [-state-dir dir]
 //	         [-max-jobs N] [-workers N] [-cache-entries N]
 //	         [-tenant-rate R] [-tenant-burst B] [-tenant-max-active N]
+//	         [-fabric-addr host:port]
+//
+// With -fabric-addr the daemon additionally runs a fabric coordinator:
+// pure-year sim cells of every job are leased to `orfabric -worker`
+// processes that dial in, instead of running in-process, with result
+// bytes pinned identical either way (DESIGN.md §15).
 //
 // SIGINT/SIGTERM drain the daemon gracefully: new submissions are refused
 // with 503, running jobs stop at their next shard boundary and checkpoint
@@ -40,6 +46,8 @@ import (
 	"os"
 	"time"
 
+	"openresolver/internal/core"
+	"openresolver/internal/fabric"
 	"openresolver/internal/obs"
 	"openresolver/internal/serve"
 	"openresolver/internal/sigctx"
@@ -56,6 +64,10 @@ func main() {
 // requests. Tests hook it to drive the live daemon.
 var serving = func(addr string) {}
 
+// fabricUp is called with the fabric coordinator's bound address once it
+// accepts workers (-fabric-addr only). Tests hook it to dial workers in.
+var fabricUp = func(addr string) {}
+
 func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("orserved", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -68,6 +80,7 @@ func run(args []string, stderr io.Writer) error {
 	tenantRate := fs.Float64("tenant-rate", 0, "sustained submissions per second admitted per tenant (0 = unlimited)")
 	tenantBurst := fs.Float64("tenant-burst", 0, "token-bucket burst capacity per tenant (0 = max(1, -tenant-rate))")
 	tenantMaxActive := fs.Int("tenant-max-active", 0, "queued+running jobs allowed per tenant (0 = unlimited)")
+	fabricAddr := fs.String("fabric-addr", "", "run a fabric coordinator on this address and dispatch sim cells to its workers (empty = run cells in-process)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -80,6 +93,27 @@ func run(args []string, stderr io.Writer) error {
 
 	reg := obs.NewRegistry()
 	reg.Publish("openresolver")
+
+	// With -fabric-addr the daemon doubles as a fabric coordinator: every
+	// job's pure-year sim cells are leased to orfabric workers that dial
+	// in, instead of running in this process. Result bytes are identical
+	// either way — the fabric's merge discipline is pinned by the digest
+	// cache keys themselves.
+	var simRunner func(cfg core.Config, lossSpec string) (*core.Dataset, error)
+	if *fabricAddr != "" {
+		co := fabric.NewCoordinator(fabric.CoordinatorConfig{
+			Obs: reg.NewShard("fabric"),
+			Log: stderr,
+		})
+		if err := co.Listen(*fabricAddr); err != nil {
+			return err
+		}
+		defer co.Close()
+		fmt.Fprintf(stderr, "orserved: fabric coordinator on %s — connect workers with: orfabric -worker -connect %s\n", co.Addr(), co.Addr())
+		fabricUp(co.Addr())
+		simRunner = co.RunCampaign
+	}
+
 	mgr, err := serve.NewManager(serve.Config{
 		StateDir:     *stateDir,
 		MaxJobs:      *maxJobs,
@@ -90,8 +124,9 @@ func run(args []string, stderr io.Writer) error {
 			Burst:         *tenantBurst,
 			MaxActive:     *tenantMaxActive,
 		},
-		Obs: reg,
-		Log: stderr,
+		Obs:       reg,
+		Log:       stderr,
+		SimRunner: simRunner,
 	})
 	if err != nil {
 		return err

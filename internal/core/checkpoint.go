@@ -218,12 +218,13 @@ func (s *checkpointStore) logf(format string, args ...any) {
 	fmt.Fprintf(s.logw, format, args...)
 }
 
-// write persists one completed shard atomically: marshal, digest-stamp,
-// write to a temp file, fsync, rename into place. A write failure is
-// survivable by design — the campaign continues and only resumability of
-// this one shard is lost — so errors are logged, the temp file is removed
-// best-effort, and nothing propagates into the campaign result.
-func (s *checkpointStore) write(shard int, run *simShardRun) {
+// marshalShardEnvelope serializes one completed shard as the
+// self-validating checkpoint envelope: the versioned checkpointFile
+// wrapper binding (campaign key, shard index) around the digest-stamped
+// payload. The same bytes serve two transports — the checkpoint store
+// renames them into shard-NNN.ckpt, and the distributed fabric carries
+// them verbatim inside a RESULT frame — so one validator guards both.
+func marshalShardEnvelope(key string, shard int, run *simShardRun) ([]byte, error) {
 	payload, err := json.Marshal(&shardCheckpoint{
 		Acc:           run.acc.State(),
 		NetStats:      run.netStats,
@@ -240,22 +241,61 @@ func (s *checkpointStore) write(shard int, run *simShardRun) {
 		Obs:           run.obs.State(),
 	})
 	if err != nil {
-		s.logf("core: checkpoint shard %d: marshal: %v (continuing without)\n", shard, err)
-		return
+		return nil, err
 	}
 	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(&checkpointFile{
+	return json.Marshal(&checkpointFile{
 		Version:  checkpointVersion,
-		Campaign: s.key,
+		Campaign: key,
 		Shard:    shard,
 		SHA256:   hex.EncodeToString(sum[:]),
 		Payload:  payload,
 	})
+}
+
+// restoreShardRun rebuilds a mergeable shard run from a validated
+// checkpoint payload, feeding the checkpointed observability state into
+// msh. The restored run carries exactly the fields mergeSimShards folds,
+// so it merges indistinguishably from a freshly executed one.
+func restoreShardRun(accCfg analysis.Config, ck *shardCheckpoint, msh *obs.Shard) *simShardRun {
+	run := &simShardRun{
+		acc:           analysis.NewAccumulatorFromState(accCfg, ck.Acc),
+		probeCounters: ck.ProbeCounters,
+		authCounters:  ck.AuthCounters,
+		r2:            ck.R2Packets,
+		authPackets:   ck.AuthPackets,
+		netStats:      ck.NetStats,
+		faultStats:    ck.FaultStats,
+		probeStats:    ck.ProbeStats,
+		sent:          ck.Sent,
+		reused:        ck.Reused,
+		clusters:      ck.Clusters,
+		duration:      time.Duration(ck.DurationNanos),
+		obs:           msh,
+	}
+	msh.LoadState(ck.Obs)
+	return run
+}
+
+// write persists one completed shard atomically: marshal, digest-stamp,
+// write to a temp file, fsync, rename into place. A write failure is
+// survivable by design — the campaign continues and only resumability of
+// this one shard is lost — so errors are logged, the temp file is removed
+// best-effort, and nothing propagates into the campaign result.
+func (s *checkpointStore) write(shard int, run *simShardRun) {
+	data, err := marshalShardEnvelope(s.key, shard, run)
 	if err != nil {
 		s.logf("core: checkpoint shard %d: marshal: %v (continuing without)\n", shard, err)
 		return
 	}
+	s.writeRaw(shard, data)
+}
 
+// writeRaw persists pre-marshaled envelope bytes for one shard. The fabric
+// coordinator feeds RESULT envelopes through here unchanged — they are the
+// identical byte format — making distributed campaigns exactly as
+// crash-resumable as local ones.
+func (s *checkpointStore) writeRaw(shard int, data []byte) {
 	path := s.path(shard)
 	tmp := path + ".tmp"
 	if err := s.writeTemp(tmp, data); err != nil {
@@ -307,34 +347,23 @@ func (s *checkpointStore) load(shard int, accCfg analysis.Config, msh *obs.Shard
 		}
 		return nil, false
 	}
-	ck, err := s.validate(shard, data)
+	ck, err := validateShardEnvelope(s.key, shard, data)
 	if err != nil {
 		s.logf("core: checkpoint shard %d: %v; rerunning shard\n", shard, err)
 		_ = s.fs.Remove(path)
 		return nil, false
 	}
-	run := &simShardRun{
-		acc:           analysis.NewAccumulatorFromState(accCfg, ck.Acc),
-		probeCounters: ck.ProbeCounters,
-		authCounters:  ck.AuthCounters,
-		r2:            ck.R2Packets,
-		authPackets:   ck.AuthPackets,
-		netStats:      ck.NetStats,
-		faultStats:    ck.FaultStats,
-		probeStats:    ck.ProbeStats,
-		sent:          ck.Sent,
-		reused:        ck.Reused,
-		clusters:      ck.Clusters,
-		duration:      time.Duration(ck.DurationNanos),
-		obs:           msh,
-	}
-	msh.LoadState(ck.Obs)
+	run := restoreShardRun(accCfg, ck, msh)
 	s.logf("core: shard %d restored from checkpoint\n", shard)
 	return run, true
 }
 
-// validate checks the envelope and payload integrity of one file.
-func (s *checkpointStore) validate(shard int, data []byte) (*shardCheckpoint, error) {
+// validateShardEnvelope checks one envelope's integrity in layers —
+// well-formed wrapper, format version, campaign key, shard index, payload
+// digest, decodable payload — and returns the decoded payload. It guards
+// both transports of the envelope format: checkpoint files read back from
+// disk and RESULT frames received from fabric workers.
+func validateShardEnvelope(key string, shard int, data []byte) (*shardCheckpoint, error) {
 	var cf checkpointFile
 	if err := json.Unmarshal(data, &cf); err != nil {
 		return nil, fmt.Errorf("invalid checkpoint (torn or truncated write): %v", err)
@@ -342,7 +371,7 @@ func (s *checkpointStore) validate(shard int, data []byte) (*shardCheckpoint, er
 	if cf.Version != checkpointVersion {
 		return nil, fmt.Errorf("checkpoint version %d, want %d", cf.Version, checkpointVersion)
 	}
-	if cf.Campaign != s.key {
+	if cf.Campaign != key {
 		return nil, errors.New("checkpoint belongs to a different campaign configuration or shard plan")
 	}
 	if cf.Shard != shard {

@@ -508,93 +508,33 @@ func RunSimulation(cfg Config) (*Dataset, error) {
 // shard order (simshard.go); the merged dataset is byte-identical for
 // every worker count.
 func SimulatePopulation(cfg Config, pop *population.Population, threat *threatintel.DB) (*Dataset, error) {
-	if cfg.SampleShift < 6 {
-		return nil, fmt.Errorf("core: simulation mode needs SampleShift ≥ 6 (got %d); use RunSynthetic for full scale", cfg.SampleShift)
+	sc, err := openSimCampaign(cfg, pop, threat)
+	if err != nil {
+		return nil, err
 	}
 	tr := cfg.Obs.Tracer()
-	sp := tr.Begin("scan-universe")
-	reg := geo.DefaultRegistry()
-	u, err := scan.NewUniverse(uint64(cfg.Seed), cfg.SampleShift, ipv4.NewReservedBlocklist())
-	if err != nil {
-		return nil, err
-	}
-	assigner, err := population.NewAssigner(u, reg, pop, ProberAddr, RootAddr, TLDAddr, AuthAddr)
-	if err != nil {
-		return nil, err
-	}
-	tr.End(sp)
-
-	// The resolver population's address plan. The assigner walk — and with
-	// it every address draw — is identical to the old eager construction,
-	// but only a cohort index is recorded per address; the Resolver host
-	// itself (and its recursion engine) materializes inside the shard that
-	// first reaches the address, via each sub-simulation's spawner hook.
-	// Addresses the campaign never reaches (skipped sends, lost probes) are
-	// never built. The index is written once here and only read during the
-	// fan-out, so every shard shares it without synchronization.
-	sp = tr.Begin("population-place")
-	cohortOf := newAddrIndex(int(pop.ExpectedR2))
-	for ci, cohort := range pop.Cohorts {
-		for i := uint64(0); i < cohort.Count; i++ {
-			src, err := assigner.Next(cohort.Country)
-			if err != nil {
-				return nil, err
-			}
-			cohortOf.put(src, int32(ci))
-		}
-	}
-	tr.End(sp)
-
-	shards := planSimShards(cfg, u)
-	// Metrics shards are registered here, in shard order, so the snapshot's
-	// shard list is deterministic regardless of goroutine scheduling.
-	obsShards := make([]*obs.Shard, len(shards))
-	for i := range shards {
-		obsShards[i] = cfg.Obs.NewShard(fmt.Sprintf("sim-%d", i))
-	}
-
-	env := &simEnv{cfg: cfg, pop: pop, threat: threat, reg: reg, u: u, cohortOf: cohortOf}
-	runs := make([]*simShardRun, len(shards))
-	errs := make([]error, len(shards))
-
-	// Checkpoint/restore (DESIGN.md §13): restore every shard with a valid
-	// checkpoint from a previous run of the same campaign, then execute only
-	// the rest. Restored runs carry exactly the fields mergeSimShards folds,
-	// so the merged dataset is byte-identical to an uninterrupted run's.
-	var store *checkpointStore
-	if cfg.Checkpoints.enabled() {
-		store, err = openCheckpointStore(cfg.Checkpoints, cfg, shards)
-		if err != nil {
-			return nil, err
-		}
-		sp = tr.Begin("checkpoint-restore")
-		accCfg := analysis.Config{Year: cfg.Year, Threat: threat, Geo: reg}
-		for i := range shards {
-			if run, ok := store.load(i, accCfg, obsShards[i]); ok {
-				runs[i] = run
-			}
-		}
-		tr.End(sp)
-	}
+	errs := make([]error, len(sc.shards))
 
 	// runShard executes one pending shard and, on success, persists it at
-	// the shard boundary — the atomic unit of crash-safe progress.
+	// the shard boundary — the atomic unit of crash-safe progress. Each
+	// shard index is owned by exactly one goroutine, so runs/errs writes
+	// need no lock.
 	runShard := func(i int) {
-		runs[i], errs[i] = runSimShard(env, shards[i], obsShards[i])
-		if errs[i] == nil && store != nil {
-			store.write(i, runs[i])
+		sc.runs[i], errs[i] = runSimShard(sc.env, sc.shards[i], sc.obsShards[i])
+		if errs[i] == nil && sc.store != nil {
+			sc.store.write(i, sc.runs[i])
 		}
 	}
 
 	ctx := cfg.ctx()
-	sp = tr.Begin("simulate")
+	sp := tr.Begin("simulate")
 	workers := cfg.workers()
-	if workers > len(shards) {
-		workers = len(shards)
+	if workers > len(sc.shards) {
+		workers = len(sc.shards)
 	}
 	if workers <= 1 {
-		for i := range shards {
-			if runs[i] != nil || ctx.Err() != nil {
+		for i := range sc.shards {
+			if sc.runs[i] != nil || ctx.Err() != nil {
 				continue
 			}
 			runShard(i)
@@ -614,8 +554,8 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 		// Graceful shutdown: on cancellation, stop dispatching but let
 		// every in-flight shard drain (and checkpoint) before returning.
 	dispatch:
-		for i := range shards {
-			if runs[i] != nil {
+		for i := range sc.shards {
+			if sc.runs[i] != nil {
 				continue
 			}
 			select {
@@ -633,7 +573,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 			return nil, err
 		}
 	}
-	for _, run := range runs {
+	for _, run := range sc.runs {
 		if run == nil {
 			// Cancelled before every shard completed. Completed shards are
 			// checkpointed; rerunning the same configuration resumes there.
@@ -642,10 +582,7 @@ func SimulatePopulation(cfg Config, pop *population.Population, threat *threatin
 	}
 
 	sp = tr.Begin("report")
-	ds := mergeSimShards(cfg, pop, runs)
+	ds, err := sc.Merge()
 	tr.End(sp)
-	if store != nil {
-		store.clear(len(shards))
-	}
-	return ds, nil
+	return ds, err
 }

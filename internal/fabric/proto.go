@@ -1,0 +1,215 @@
+// Package fabric distributes a sharded simulation campaign across
+// processes and machines (DESIGN.md §15). A coordinator expands the
+// campaign into the same fixed shard plan a single-process run computes,
+// hands out shard leases to workers over a small length-prefixed
+// JSON-over-TCP job protocol, and folds the returned checkpoint envelopes
+// through the ordered merge — so a campaign spread over N remote workers
+// is byte-identical to `orsurvey -workers N` on one machine.
+//
+// The protocol is deliberately thin because the hard guarantees live
+// below it, in internal/core:
+//
+//   - the shard plan is a pure function of the campaign Config, so both
+//     sides derive it independently and only shard *indexes* cross the
+//     wire;
+//   - results travel as the self-validating checkpoint envelope of
+//     DESIGN.md §13, verbatim — the coordinator re-verifies version,
+//     campaign key, shard index and payload digest before merging, so a
+//     corrupted or mismatched envelope degrades to "rerun shard";
+//   - the merge folds shards in plan order with at-most-once recording,
+//     so duplicate RESULTs, lease-expiry races and worker crashes cannot
+//     change a byte of the output, only the wall-clock time.
+//
+// Wire format: every message is a frame of a 4-byte big-endian length
+// followed by that many bytes of JSON. The conversation is strictly
+// paired from the worker's point of view:
+//
+//	worker → HELLO{proto, name}        coordinator → WELCOME{proto, heartbeat}
+//	worker → READY                     coordinator → LEASE{key, spec, shard} | DONE
+//	worker → PROGRESS{shard}…          (heartbeats while the shard runs)
+//	worker → RESULT{key, shard, envelope} | NACK{key, shard, error}
+//	worker → READY                     …
+//
+// A coordinator that cannot speak the worker's protocol version answers
+// HELLO with ERROR and closes the connection.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"openresolver/internal/core"
+	"openresolver/internal/netsim"
+	"openresolver/internal/paperdata"
+)
+
+// ProtoVersion is the fabric protocol version. HELLO carries it; the
+// coordinator refuses workers whose version differs, because a version
+// skew could mean a different shard plan or envelope layout — and the
+// whole design rests on both sides deriving identical bytes.
+const ProtoVersion = 1
+
+// maxFrame bounds a single frame. The largest legitimate frame is a
+// RESULT carrying one shard's checkpoint envelope — a few MiB at paper
+// scale — so 64 MiB rejects corrupt or hostile length prefixes without
+// ever clipping real traffic.
+const maxFrame = 64 << 20
+
+// Message types.
+const (
+	msgHello    = "hello"
+	msgWelcome  = "welcome"
+	msgReady    = "ready"
+	msgLease    = "lease"
+	msgDone     = "done"
+	msgProgress = "progress"
+	msgResult   = "result"
+	msgNack     = "nack"
+	msgError    = "error"
+)
+
+// message is the single wire envelope; Type selects which fields are
+// meaningful. One struct instead of one type per message keeps the
+// framing layer trivial: every frame decodes the same way, and unknown
+// fields from a (hypothetical) newer same-version peer are ignored.
+type message struct {
+	Type string `json:"type"`
+	// Proto is the sender's protocol version (HELLO, WELCOME).
+	Proto int `json:"proto,omitempty"`
+	// Name labels the worker in coordinator logs (HELLO).
+	Name string `json:"name,omitempty"`
+	// Key is the campaign key the message concerns (LEASE, RESULT, NACK).
+	Key string `json:"key,omitempty"`
+	// HeartbeatMillis tells the worker how often to send PROGRESS while a
+	// shard runs (WELCOME).
+	HeartbeatMillis int64 `json:"heartbeat_millis,omitempty"`
+	// Spec describes the campaign so the worker can compile it (LEASE).
+	Spec *CampaignSpec `json:"spec,omitempty"`
+	// Shard is the shard index (LEASE, PROGRESS, RESULT, NACK). Never
+	// omitempty: shard 0 is a real shard.
+	Shard int `json:"shard"`
+	// Envelope is the shard's checkpoint envelope, verbatim (RESULT).
+	Envelope []byte `json:"envelope,omitempty"`
+	// Error describes a failure (NACK, ERROR).
+	Error string `json:"error,omitempty"`
+}
+
+// writeFrame marshals m and writes it as one length-prefixed frame.
+// Header and body go out in a single Write so a frame is never torn by
+// the sender (the reader still tolerates torn frames from dying peers).
+func writeFrame(w io.Writer, m *message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("fabric: marshal %s: %w", m.Type, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("fabric: %s frame of %d bytes exceeds the %d-byte limit", m.Type, len(body), maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame. A connection that dies
+// mid-prefix or mid-body surfaces as io.ErrUnexpectedEOF (io.EOF only at
+// a clean frame boundary); a length prefix beyond maxFrame is rejected
+// before any allocation, so a corrupt prefix cannot balloon memory.
+func readFrame(r io.Reader) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("fabric: torn frame: connection closed inside a length prefix: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("fabric: torn frame: connection closed inside a %d-byte body: %w", n, io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	var m message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("fabric: bad frame: %w", err)
+	}
+	return &m, nil
+}
+
+// CampaignSpec is the wire description of a campaign — every core.Config
+// field that shapes the campaign's bytes, and nothing that doesn't
+// (Workers, Obs, Ctx and Checkpoints are deliberately absent, exactly as
+// they are absent from the campaign key). Loss carries the impairment
+// plan as the original CLI spec string because that grammar is the
+// parseable canonical form; the worker re-parses it and the campaign key
+// proves both sides compiled the same plan.
+type CampaignSpec struct {
+	Year      int    `json:"year"`
+	Shift     uint8  `json:"shift"`
+	Seed      int64  `json:"seed"`
+	PPS       uint64 `json:"pps,omitempty"`
+	Keep      bool   `json:"keep_packets,omitempty"`
+	Loss      string `json:"loss,omitempty"`
+	Retries   int    `json:"retries,omitempty"`
+	Adaptive  bool   `json:"adaptive_timeout,omitempty"`
+	Backoff   bool   `json:"upstream_backoff,omitempty"`
+	MaxEvents int    `json:"max_events,omitempty"`
+}
+
+// SpecFor builds the wire spec for cfg. lossSpec must be the CLI
+// impairment string cfg.Faults.Impairments was parsed from ("" or "none"
+// for a pristine network) — the spec cannot be recovered from the parsed
+// plan, so the caller that parsed it must pass it through.
+func SpecFor(cfg core.Config, lossSpec string) CampaignSpec {
+	if lossSpec == "none" {
+		lossSpec = ""
+	}
+	return CampaignSpec{
+		Year:      int(cfg.Year),
+		Shift:     cfg.SampleShift,
+		Seed:      cfg.Seed,
+		PPS:       cfg.PacketsPerSec,
+		Keep:      cfg.KeepPackets,
+		Loss:      lossSpec,
+		Retries:   cfg.Faults.Retries,
+		Adaptive:  cfg.Faults.AdaptiveTimeout,
+		Backoff:   cfg.Faults.UpstreamBackoff,
+		MaxEvents: cfg.Faults.MaxQueuedEvents,
+	}
+}
+
+// Config compiles the spec back into a runnable core.Config. The result
+// has no Workers/Obs/Ctx/Checkpoints — the worker supplies its own
+// runtime plumbing; the campaign key confirms the bytes-shaping fields
+// round-tripped.
+func (s CampaignSpec) Config() (core.Config, error) {
+	var imps []netsim.Impairment
+	if s.Loss != "" && s.Loss != "none" {
+		var err error
+		if imps, err = netsim.ParseImpairments(s.Loss); err != nil {
+			return core.Config{}, fmt.Errorf("fabric: campaign spec: %w", err)
+		}
+	}
+	return core.Config{
+		Year:          paperdata.Year(s.Year),
+		SampleShift:   s.Shift,
+		Seed:          s.Seed,
+		PacketsPerSec: s.PPS,
+		KeepPackets:   s.Keep,
+		Faults: core.FaultPlan{
+			Impairments:     imps,
+			Retries:         s.Retries,
+			AdaptiveTimeout: s.Adaptive,
+			UpstreamBackoff: s.Backoff,
+			MaxQueuedEvents: s.MaxEvents,
+		},
+	}, nil
+}

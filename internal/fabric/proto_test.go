@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"openresolver/internal/netsim"
+)
+
+// The framing layer's failure modes are where a distributed protocol
+// rots: a dying peer tears a frame, a corrupt prefix asks for gigabytes,
+// a version-skewed peer speaks a different dialect. Each must surface as
+// a crisp error, never a hang or an allocation bomb.
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &message{Type: msgResult, Key: "k", Shard: 0, Envelope: []byte("payload")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Key != in.Key || out.Shard != 0 || string(out.Envelope) != "payload" {
+		t.Fatalf("round trip mangled the frame: %+v", out)
+	}
+}
+
+// Shard 0 must survive JSON marshalling — an omitempty tag on Shard
+// would silently turn "shard 0" into "no shard field".
+func TestFrameShardZeroSurvives(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &message{Type: msgLease, Shard: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"shard":0`)) {
+		t.Fatalf("shard 0 dropped from the wire: %s", buf.Bytes()[4:])
+	}
+}
+
+func TestReadFrameTornPrefix(t *testing.T) {
+	_, err := readFrame(strings.NewReader("\x00\x00"))
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn prefix: got %v, want ErrUnexpectedEOF", err)
+	}
+	if !strings.Contains(err.Error(), "torn frame") {
+		t.Fatalf("torn prefix error should say so: %v", err)
+	}
+}
+
+func TestReadFrameTornBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString(`{"type":"ready"`) // 15 of the promised 100 bytes
+	_, err := readFrame(&buf)
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn body: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	if _, err := readFrame(strings.NewReader("")); err != io.EOF {
+		t.Fatalf("clean close at a frame boundary must be io.EOF, got %v", err)
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	_, err := readFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized frame: got %v, want a limit rejection", err)
+	}
+}
+
+func TestWriteFrameOversized(t *testing.T) {
+	err := writeFrame(io.Discard, &message{Type: msgResult, Envelope: make([]byte, maxFrame)})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized write: got %v, want a limit rejection", err)
+	}
+}
+
+// The wire spec must round-trip every bytes-shaping Config field through
+// JSON and back into an identical fault plan — this is what lets the
+// campaign key certify coordinator/worker agreement.
+func TestCampaignSpecRoundTrip(t *testing.T) {
+	const loss = "ge:0.02,0.3,0.05,0.9;dup:0.05;reorder:0.1,30ms;corrupt:0.02"
+	imps, err := netsim.ParseImpairments(loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(t)
+	spec := SpecFor(cfg, loss)
+	got, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Year != cfg.Year || got.SampleShift != cfg.SampleShift || got.Seed != cfg.Seed ||
+		got.KeepPackets != cfg.KeepPackets || got.PacketsPerSec != cfg.PacketsPerSec {
+		t.Fatalf("scalar fields diverged: %+v vs %+v", got, cfg)
+	}
+	if got.Faults.Retries != cfg.Faults.Retries || got.Faults.AdaptiveTimeout != cfg.Faults.AdaptiveTimeout ||
+		got.Faults.UpstreamBackoff != cfg.Faults.UpstreamBackoff || got.Faults.MaxQueuedEvents != cfg.Faults.MaxQueuedEvents {
+		t.Fatalf("fault plan diverged: %+v vs %+v", got.Faults, cfg.Faults)
+	}
+	if netsim.DescribeImpairments(got.Faults.Impairments) != netsim.DescribeImpairments(imps) {
+		t.Fatalf("impairments diverged: %s vs %s",
+			netsim.DescribeImpairments(got.Faults.Impairments), netsim.DescribeImpairments(imps))
+	}
+	if s := SpecFor(cfg, "none"); s.Loss != "" {
+		t.Fatalf(`"none" should normalize to an empty loss spec, got %q`, s.Loss)
+	}
+}

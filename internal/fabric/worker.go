@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"openresolver/internal/core"
+)
+
+// WorkerConfig tunes RunWorker.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// Name labels this worker in coordinator logs (default: local addr).
+	Name string
+	// Log receives worker events (nil = silent).
+	Log io.Writer
+}
+
+// RunWorker dials the coordinator and executes leased shards until the
+// coordinator says DONE, the connection closes, or ctx is cancelled.
+// Workers are deliberately thin: each LEASE's spec is compiled into a
+// campaign with core.OpenShardCampaign (cached across leases — every
+// shard of a campaign shares one compiled environment), the shard runs on
+// a fully private network, and the resulting checkpoint envelope streams
+// back verbatim. The worker holds no state the coordinator depends on:
+// kill it mid-shard and the shard simply reruns elsewhere.
+func RunWorker(ctx context.Context, wc WorkerConfig) error {
+	conn, err := net.Dial("tcp", wc.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, func() { conn.Close() })
+		defer stop()
+	}
+	logf := func(format string, args ...any) {
+		if wc.Log != nil {
+			fmt.Fprintf(wc.Log, "worker: "+format+"\n", args...)
+		}
+	}
+
+	if err := writeFrame(conn, &message{Type: msgHello, Proto: ProtoVersion, Name: wc.Name}); err != nil {
+		return err
+	}
+	welcome, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	switch {
+	case welcome.Type == msgError:
+		return fmt.Errorf("fabric: coordinator refused worker: %s", welcome.Error)
+	case welcome.Type != msgWelcome:
+		return fmt.Errorf("fabric: expected WELCOME, got %q", welcome.Type)
+	case welcome.Proto != ProtoVersion:
+		return fmt.Errorf("fabric: protocol version mismatch: worker speaks v%d, coordinator v%d", ProtoVersion, welcome.Proto)
+	}
+	heartbeat := time.Duration(welcome.HeartbeatMillis) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = defaultHeartbeat
+	}
+	logf("connected to %s (heartbeat %v)", wc.Addr, heartbeat)
+
+	// The compiled campaign is cached across leases: shard leases for one
+	// campaign arrive in bursts, and compiling the environment (population,
+	// universe, cohort index) once per campaign instead of once per shard
+	// is what keeps workers thin rather than slow.
+	var (
+		cacheKey string
+		cached   *core.ShardCampaign
+	)
+	// writeMu serializes RESULT/NACK frames with the heartbeat goroutine's
+	// PROGRESS frames.
+	var writeMu sync.Mutex
+	send := func(m *message) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeFrame(conn, m)
+	}
+
+	for {
+		if err := send(&message{Type: msgReady}); err != nil {
+			return workerExit(ctx, err)
+		}
+		msg, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF {
+				logf("coordinator closed the connection")
+				return workerExit(ctx, nil)
+			}
+			return workerExit(ctx, err)
+		}
+		switch msg.Type {
+		case msgDone:
+			logf("coordinator done; exiting")
+			return nil
+		case msgLease:
+			// fall through below
+		default:
+			return fmt.Errorf("fabric: expected LEASE or DONE, got %q", msg.Type)
+		}
+
+		if cached == nil || cacheKey != msg.Key {
+			cached, cacheKey = nil, ""
+			if msg.Spec == nil {
+				if err := send(&message{Type: msgNack, Key: msg.Key, Shard: msg.Shard, Error: "lease carries no campaign spec"}); err != nil {
+					return workerExit(ctx, err)
+				}
+				continue
+			}
+			cfg, err := msg.Spec.Config()
+			if err == nil {
+				var sc *core.ShardCampaign
+				if sc, err = core.OpenShardCampaign(cfg); err == nil {
+					if sc.CampaignKey() != msg.Key {
+						err = fmt.Errorf("campaign key mismatch: coordinator %.12s, worker %.12s (version skew?)", msg.Key, sc.CampaignKey())
+					} else {
+						cached, cacheKey = sc, msg.Key
+					}
+				}
+			}
+			if err != nil {
+				logf("cannot open campaign %.12s: %v", msg.Key, err)
+				if serr := send(&message{Type: msgNack, Key: msg.Key, Shard: msg.Shard, Error: err.Error()}); serr != nil {
+					return workerExit(ctx, serr)
+				}
+				continue
+			}
+			logf("compiled campaign %.12s (%d shards)", cacheKey, cached.NumShards())
+		}
+
+		// Heartbeat while the shard runs, so a long shard doesn't read as
+		// a hung worker.
+		logf("running shard %d", msg.Shard)
+		stopBeat := make(chan struct{})
+		var beatWG sync.WaitGroup
+		beatWG.Add(1)
+		go func(shard int) {
+			defer beatWG.Done()
+			t := time.NewTicker(heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopBeat:
+					return
+				case <-t.C:
+					if send(&message{Type: msgProgress, Shard: shard}) != nil {
+						return
+					}
+				}
+			}
+		}(msg.Shard)
+		env, err := cached.RunShardEnvelope(msg.Shard)
+		close(stopBeat)
+		beatWG.Wait()
+		if err != nil {
+			logf("shard %d failed: %v", msg.Shard, err)
+			if serr := send(&message{Type: msgNack, Key: msg.Key, Shard: msg.Shard, Error: err.Error()}); serr != nil {
+				return workerExit(ctx, serr)
+			}
+			continue
+		}
+		if err := send(&message{Type: msgResult, Key: msg.Key, Shard: msg.Shard, Envelope: env}); err != nil {
+			return workerExit(ctx, err)
+		}
+		logf("shard %d done (%d-byte envelope)", msg.Shard, len(env))
+	}
+}
+
+// workerExit maps an I/O error to the worker's exit status: a cancelled
+// context wins (the closed connection is our own doing), everything else
+// passes through.
+func workerExit(ctx context.Context, err error) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}

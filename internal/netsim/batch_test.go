@@ -371,8 +371,8 @@ func benchDrain(b *testing.B, batched bool) {
 // sinkBatchHost counts deliveries through both dispatch interfaces.
 type sinkBatchHost struct{ n uint64 }
 
-func (h *sinkBatchHost) HandleDatagram(*Node, Datagram)        { h.n++ }
-func (h *sinkBatchHost) HandleBatch(_ *Node, dgs []Datagram)   { h.n += uint64(len(dgs)) }
+func (h *sinkBatchHost) HandleDatagram(*Node, Datagram)      { h.n++ }
+func (h *sinkBatchHost) HandleBatch(_ *Node, dgs []Datagram) { h.n += uint64(len(dgs)) }
 
 func BenchmarkStepDrain(b *testing.B)      { benchDrain(b, false) }
 func BenchmarkStepBatchDrain(b *testing.B) { benchDrain(b, true) }

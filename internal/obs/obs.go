@@ -64,6 +64,20 @@ const (
 	CServeCancelled // jobs stopped at a shard boundary by cancel/drain
 	CServeCellsDone // sweep cells completed across all jobs
 
+	// Distributed campaign fabric (internal/fabric). Counted on the
+	// coordinator's shard; like the serve.* set they describe control-plane
+	// traffic, never campaign bytes. Appended so existing snapshot
+	// orderings are unchanged.
+	CFabricWorkers       // workers that completed the HELLO handshake
+	CFabricWorkersGone   // worker connections closed (liveness = hellos − gone)
+	CFabricLeases        // shard leases granted
+	CFabricLeaseExpired  // leases reaped after missed heartbeats or worker death
+	CFabricRequeued      // shards returned to the pending queue (expiry or NACK)
+	CFabricResults       // shard result envelopes accepted and recorded
+	CFabricDupResults    // duplicate RESULTs for already-recorded shards (dropped)
+	CFabricNacks         // shard failures reported by workers
+	CFabricEnvelopeBytes // envelope payload bytes received from workers
+
 	NumCounters // array size; not a real counter
 )
 
@@ -102,6 +116,16 @@ var counterNames = [NumCounters]string{
 	CServeFailed:      "serve.failed",
 	CServeCancelled:   "serve.cancelled",
 	CServeCellsDone:   "serve.cells_done",
+
+	CFabricWorkers:       "fabric.workers_connected",
+	CFabricWorkersGone:   "fabric.workers_disconnected",
+	CFabricLeases:        "fabric.leases_granted",
+	CFabricLeaseExpired:  "fabric.leases_expired",
+	CFabricRequeued:      "fabric.shards_requeued",
+	CFabricResults:       "fabric.results_merged",
+	CFabricDupResults:    "fabric.results_duplicate",
+	CFabricNacks:         "fabric.nacks",
+	CFabricEnvelopeBytes: "fabric.envelope_bytes",
 }
 
 // CounterName returns the stable dotted name of c.

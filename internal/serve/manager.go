@@ -76,6 +76,12 @@ type Config struct {
 	// Log receives job lifecycle notes and each job's sweep log. Nil
 	// discards them.
 	Log io.Writer
+	// SimRunner, when non-nil, is passed through to every job's sweep:
+	// pure-year sim cells dispatch over it instead of running in-process
+	// (sweep.RunConfig.SimRunner). orserved wires a fabric coordinator's
+	// RunCampaign here so API jobs fan out to remote workers; result
+	// bytes are pinned identical either way.
+	SimRunner func(cfg core.Config, lossSpec string) (*core.Dataset, error)
 	// now is the admission clock; tests inject a fake. Nil = time.Now.
 	now func() time.Time
 }
@@ -347,6 +353,7 @@ func (m *Manager) run(j *job) {
 			j.completed = append(j.completed, r)
 			m.mu.Unlock()
 		},
+		SimRunner: m.cfg.SimRunner,
 	}
 	results, err := sweep.Run(rc)
 	m.finish(j, results, err)

@@ -85,6 +85,16 @@ type RunConfig struct {
 	// cell is never killed, because killing it would make the sweep's
 	// outcome depend on host speed.
 	Watchdog time.Duration
+	// SimRunner, when non-nil, replaces core.RunSimulation for pure-year
+	// sim cells — the seam the distributed fabric plugs into (a
+	// fabric.Coordinator's RunCampaign dispatches each cell's shards to
+	// remote workers). It receives the cell's compiled Config plus the
+	// cell's impairment spec in its parseable CLI form ("none" when
+	// pristine) and must return a dataset byte-identical to
+	// core.RunSimulation(cfg); the digest matrix pins that. Mixed-year
+	// cells and synthetic cells always run locally: their populations are
+	// interpolated in-process and have no wire description.
+	SimRunner func(cfg core.Config, lossSpec string) (*core.Dataset, error)
 }
 
 func (rc RunConfig) ctx() context.Context {
@@ -322,7 +332,11 @@ func runCell(rc RunConfig, c Cell, interp *drift.Interpolator, shard *obs.Shard,
 	case c.Year.Pure:
 		cfg.Year = c.Year.Year
 		if sim {
-			ds, err = core.RunSimulation(cfg)
+			if rc.SimRunner != nil {
+				ds, err = rc.SimRunner(cfg, c.Loss.Label)
+			} else {
+				ds, err = core.RunSimulation(cfg)
+			}
 		} else {
 			ds, err = core.RunSynthetic(cfg)
 		}

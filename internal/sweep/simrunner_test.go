@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"sync"
+	"testing"
+
+	"openresolver/internal/core"
+)
+
+// The SimRunner seam: pure-year sim cells dispatch through it, mixed and
+// synthetic cells never do, and the loss spec reaches it in its parseable
+// CLI form. Byte identity through a real fabric coordinator is pinned in
+// internal/fabric and cmd/orfabric; here we pin the seam's contract.
+
+func seamSpec(t *testing.T) *Spec {
+	t.Helper()
+	none, err := ParseLoss("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := ParseLoss("ge:0.05,0.2,0.125,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry, err := ParseRetryPolicy("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	year, err := ParseYear("2018")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Spec{
+		Years: []YearVal{year},
+		Loss:  []LossVal{none, burst},
+		Retry: []RetryPolicy{retry},
+		Shift: 16,
+		Seed:  1,
+	}
+}
+
+func TestSimRunnerSeam(t *testing.T) {
+	spec := seamSpec(t)
+	base, err := Run(RunConfig{Spec: spec, PoolWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var specs []string
+	runner := func(cfg core.Config, lossSpec string) (*core.Dataset, error) {
+		mu.Lock()
+		specs = append(specs, lossSpec)
+		mu.Unlock()
+		return core.RunSimulation(cfg)
+	}
+	got, err := Run(RunConfig{Spec: spec, PoolWorkers: 1, SimRunner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(specs) != len(base) {
+		t.Fatalf("SimRunner saw %d cells, want %d", len(specs), len(base))
+	}
+	for i, r := range base {
+		if got[i].Digest != r.Digest {
+			t.Errorf("cell %s: digest diverged through SimRunner", r.Cell.Slug())
+		}
+		if specs[i] != r.Cell.Loss.Label {
+			t.Errorf("cell %s: SimRunner got loss spec %q, want the cell label %q", r.Cell.Slug(), specs[i], r.Cell.Loss.Label)
+		}
+	}
+	// Each received spec must be the parseable CLI form — "none" or a
+	// string ParseLoss round-trips — or remote workers could not compile
+	// the cell.
+	for _, s := range specs {
+		if _, err := ParseLoss(s); err != nil {
+			t.Errorf("SimRunner received unparseable loss spec %q: %v", s, err)
+		}
+	}
+}
+
+// TestSimRunnerSkipsMixedCells: drift-interpolated populations have no
+// wire description, so they must keep running in-process even when a
+// SimRunner is installed.
+func TestSimRunnerSkipsMixedCells(t *testing.T) {
+	mixedYear, err := ParseYear("2015.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := ParseLoss("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry, err := ParseRetryPolicy("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Years: []YearVal{mixedYear},
+		Loss:  []LossVal{none},
+		Retry: []RetryPolicy{retry},
+		Shift: 16,
+		Seed:  1,
+	}
+	called := false
+	runner := func(cfg core.Config, lossSpec string) (*core.Dataset, error) {
+		called = true
+		return core.RunSimulation(cfg)
+	}
+	if _, err := Run(RunConfig{Spec: spec, PoolWorkers: 1, SimRunner: runner}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("SimRunner was invoked for a mixed-year cell")
+	}
+}

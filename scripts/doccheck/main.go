@@ -1,5 +1,5 @@
 // Command doccheck is the documentation gate behind `make doccheck`. It
-// performs two checks, both comment/AST-level (no type checking), so it
+// performs three checks, all comment/AST-level (no type checking), so it
 // runs in milliseconds:
 //
 //  1. Every Go package under the given root directories carries a package
@@ -11,10 +11,18 @@
 //     the API document, and every "METHOD /path" code span in the document
 //     must be registered in the router. Routes can only drift from their
 //     documentation by failing CI.
+//  3. With -flagdoc and one or more -flagcli directories, each CLI's flag
+//     table stays in sync with its flag definitions: the flags a command
+//     registers (flag.String/Bool/…/Var calls in its non-test sources)
+//     must each appear as a backtick `-flag` span in the first column of
+//     a markdown table inside the document section whose heading names
+//     the command, and every `-flag` documented there must be registered.
+//     Flag tables, like routes, can only drift by failing CI.
 //
 // Usage:
 //
-//	doccheck [-api API.md -routes internal/serve/router.go] [root ...]
+//	doccheck [-api API.md -routes internal/serve/router.go]
+//	         [-flagdoc README.md -flagcli cmd/orsweep ...] [root ...]
 package main
 
 import (
@@ -35,6 +43,9 @@ import (
 func main() {
 	apiDoc := flag.String("api", "", "API reference document to cross-check against -routes")
 	routesFile := flag.String("routes", "", "Go source file whose string-literal route patterns must match -api")
+	flagDoc := flag.String("flagdoc", "", "document whose per-CLI flag tables must match each -flagcli command")
+	var flagCLIs multiFlag
+	flag.Var(&flagCLIs, "flagcli", "command directory whose flag definitions must match its -flagdoc table (repeatable)")
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
@@ -75,10 +86,26 @@ func main() {
 			failed = true
 		}
 	}
+
+	if (*flagDoc == "") != (len(flagCLIs) == 0) {
+		fatal(fmt.Errorf("-flagdoc and -flagcli must be given together"))
+	}
+	for _, dir := range flagCLIs {
+		if err := checkFlagTable(*flagDoc, dir); err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "doccheck:", err)
@@ -163,6 +190,140 @@ func docRoutes(path string) (map[string]bool, error) {
 		}
 	}
 	return routes, nil
+}
+
+// checkFlagTable cross-checks one command's registered flags against the
+// flag table documented for it, in both directions. The command is the
+// base name of its directory; its table rows are the markdown table rows
+// in the document section whose heading mentions that name.
+func checkFlagTable(doc, cliDir string) error {
+	name := filepath.Base(filepath.Clean(cliDir))
+	defined, err := cliFlags(cliDir)
+	if err != nil {
+		return err
+	}
+	if len(defined) == 0 {
+		return fmt.Errorf("%s registers no flags; is it the right directory?", cliDir)
+	}
+	documentedFlags, found, err := docFlags(doc, name)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%s has no section heading naming %q", doc, name)
+	}
+	var problems []string
+	for _, f := range sortedKeys(defined) {
+		if !documentedFlags[f] {
+			problems = append(problems, fmt.Sprintf("flag %q is defined by %s but missing from its table in %s", "-"+f, cliDir, doc))
+		}
+	}
+	for _, f := range sortedKeys(documentedFlags) {
+		if !defined[f] {
+			problems = append(problems, fmt.Sprintf("flag %q is documented for %s in %s but not defined", "-"+f, name, doc))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("flag table for %s out of sync:\n  %s", name, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// flagDefCalls maps flag-registration method names to the argument index
+// holding the flag name: String(name, …) registers at 0, StringVar(ptr,
+// name, …) and Var(value, name, …) at 1.
+var flagDefCalls = map[string]int{
+	"String": 0, "Bool": 0, "Int": 0, "Int64": 0, "Uint": 0,
+	"Uint64": 0, "Float64": 0, "Duration": 0,
+	"StringVar": 1, "BoolVar": 1, "IntVar": 1, "Int64Var": 1, "UintVar": 1,
+	"Uint64Var": 1, "Float64Var": 1, "DurationVar": 1,
+	"Var": 1, "TextVar": 1, "Func": 1, "BoolFunc": 1,
+}
+
+// cliFlags parses the command's non-test sources and collects every flag
+// name registered through a flag/FlagSet method with a literal name.
+func cliFlags(dir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	flags := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := flagDefCalls[sel.Sel.Name]
+			if !ok || len(call.Args) < argIdx+2 {
+				return true
+			}
+			lit, ok := call.Args[argIdx].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			if s, err := strconv.Unquote(lit.Value); err == nil && flagName.MatchString(s) {
+				flags[s] = true
+			}
+			return true
+		})
+	}
+	return flags, nil
+}
+
+// flagName is the repo's flag-naming convention; it also keeps the AST
+// scan from mistaking unrelated String(...) calls for registrations.
+var flagName = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// flagSpan matches a documented flag inside a backtick code span.
+var flagSpan = regexp.MustCompile("`-([a-z][a-z0-9-]*)`")
+
+// docFlags collects the flags documented for the named command: every
+// backtick `-flag` span in the first column of a markdown table between
+// the heading that mentions the command name and the next heading.
+// Fenced code blocks are stripped so example transcripts cannot leak
+// table-looking lines into the scan.
+func docFlags(path, name string) (map[string]bool, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	text := regexp.MustCompile("(?s)```.*?```").ReplaceAllString(string(data), "")
+	word := regexp.MustCompile(`(?:^|[^a-z0-9])` + regexp.QuoteMeta(name) + `(?:[^a-z0-9]|$)`)
+	flags := map[string]bool{}
+	found := false
+	inSection := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") {
+			inSection = word.MatchString(line)
+			found = found || inSection
+			continue
+		}
+		if !inSection || !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		cells := strings.Split(strings.TrimSpace(line), "|")
+		if len(cells) < 2 {
+			continue
+		}
+		for _, m := range flagSpan.FindAllStringSubmatch(cells[1], -1) {
+			flags[m[1]] = true
+		}
+	}
+	return flags, found, nil
 }
 
 func sortedKeys(m map[string]bool) []string {

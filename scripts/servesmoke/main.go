@@ -35,15 +35,17 @@ func main() {
 	baseline := flag.String("baseline", defaultBaseline,
 		"pinned FaultDigest of the loss-free 2018 smoke cell")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	daemonAddr := flag.String("daemon-addr", "127.0.0.1:0",
+		"listen address handed to the daemon (the regression test passes an occupied port)")
 	flag.Parse()
-	if err := run(*baseline, *timeout); err != nil {
+	if err := run(*baseline, *timeout, *daemonAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: ok — baseline digest pinned, cache hit served, drain clean")
 }
 
-func run(baseline string, timeout time.Duration) error {
+func run(baseline string, timeout time.Duration, daemonAddr string) error {
 	deadline := time.Now().Add(timeout)
 	dir, err := os.MkdirTemp("", "servesmoke-")
 	if err != nil {
@@ -60,7 +62,7 @@ func run(baseline string, timeout time.Duration) error {
 
 	addrFile := filepath.Join(dir, "addr")
 	daemon := exec.Command(bin,
-		"-addr", "127.0.0.1:0",
+		"-addr", daemonAddr,
 		"-addr-file", addrFile,
 		"-state-dir", filepath.Join(dir, "state"),
 	)
@@ -69,18 +71,27 @@ func run(baseline string, timeout time.Duration) error {
 		return err
 	}
 	defer daemon.Process.Kill() // no-op after a clean Wait
+	// One Wait for the whole run: the boot loop below selects against it
+	// so a daemon that dies before serving (failed bind, bad state dir)
+	// fails the harness immediately with the real exit status, instead of
+	// polling the address file until the deadline and masking the cause.
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
 
 	// The daemon writes its bound address once it is accepting requests.
 	var base string
-	for {
+	for base == "" {
+		select {
+		case err := <-exited:
+			return fmt.Errorf("daemon exited before serving (addr %s): %v", daemonAddr, err)
+		case <-time.After(20 * time.Millisecond):
+		}
 		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
 			base = "http://" + string(data)
-			break
 		}
-		if time.Now().After(deadline) {
+		if base == "" && time.Now().After(deadline) {
 			return fmt.Errorf("daemon never wrote %s", addrFile)
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
 	fmt.Println("servesmoke: daemon on", base)
 
@@ -147,10 +158,8 @@ func run(baseline string, timeout time.Duration) error {
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	waited := make(chan error, 1)
-	go func() { waited <- daemon.Wait() }()
 	select {
-	case err := <-waited:
+	case err := <-exited:
 		if err != nil {
 			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
 		}

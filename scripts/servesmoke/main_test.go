@@ -1,0 +1,47 @@
+package main
+
+import (
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Regression test for the masked-boot-failure bug: when the daemon cannot
+// bind its address, the harness used to poll the address file until the
+// overall deadline (minutes) and report only "never wrote addr" — the
+// daemon's real exit was swallowed by the cleanup path. It must now fail
+// promptly and surface that the daemon exited.
+func TestBootFailurePropagates(t *testing.T) {
+	// run() builds ./cmd/orserved, so it must execute from the repo root.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	// Occupy a port so the daemon's bind fails deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	start := time.Now()
+	err = run(defaultBaseline, 5*time.Minute, ln.Addr().String())
+	if err == nil {
+		t.Fatal("harness reported success although the daemon could not bind")
+	}
+	if !strings.Contains(err.Error(), "exited before serving") {
+		t.Errorf("failure does not surface the daemon exit: %v", err)
+	}
+	// "Promptly" = well under the overall deadline; the daemon dies at
+	// bind time, so seconds (build time) not minutes.
+	if elapsed := time.Since(start); elapsed > 2*time.Minute {
+		t.Errorf("boot failure took %v to surface", elapsed)
+	}
+}
